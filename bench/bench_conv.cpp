@@ -1,0 +1,70 @@
+// T1 (§3.2 table): adjoint convolution and convolution, point vs the
+// hand pipeline (index-set splitting + unroll-and-jam + scalar
+// replacement).  The paper reports ~1.8x at sizes 300 and 500 on an
+// RS/6000 540; the expectation here is the same direction of win.
+#include "bench/benchutil.hpp"
+#include "kernels/conv.hpp"
+
+namespace {
+
+using namespace blk::kernels;
+
+void BM_AconvPoint(benchmark::State& st) {
+  ConvProblem p = ConvProblem::make_aconv(st.range(0), 5);
+  for (auto _ : st) {
+    aconv_point(p);
+    benchmark::DoNotOptimize(p.f3.flat().data());
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_AconvOpt(benchmark::State& st) {
+  ConvProblem p = ConvProblem::make_aconv(st.range(0), 5);
+  for (auto _ : st) {
+    aconv_opt(p);
+    benchmark::DoNotOptimize(p.f3.flat().data());
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_ConvPoint(benchmark::State& st) {
+  ConvProblem p = ConvProblem::make_conv(st.range(0), 6);
+  for (auto _ : st) {
+    conv_point(p);
+    benchmark::DoNotOptimize(p.f3.flat().data());
+    benchmark::ClobberMemory();
+  }
+}
+
+void BM_ConvOpt(benchmark::State& st) {
+  ConvProblem p = ConvProblem::make_conv(st.range(0), 6);
+  for (auto _ : st) {
+    conv_opt(p);
+    benchmark::DoNotOptimize(p.f3.flat().data());
+    benchmark::ClobberMemory();
+  }
+}
+
+BENCHMARK(BM_AconvPoint)->Arg(300)->Arg(500)->Arg(2000);
+BENCHMARK(BM_AconvOpt)->Arg(300)->Arg(500)->Arg(2000);
+BENCHMARK(BM_ConvPoint)->Arg(300)->Arg(500)->Arg(2000);
+BENCHMARK(BM_ConvOpt)->Arg(300)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto rep = blk::bench::run_all(argc, argv);
+  blk::bench::Table t({"Loop", "Size", "Original", "Xformed", "Speedup"});
+  for (const char* loop : {"Aconv", "Conv"}) {
+    std::string base = std::string("BM_") + (loop[0] == 'A' ? "Aconv" : "Conv");
+    for (long size : {300L, 500L, 2000L}) {
+      double orig = rep.get(base + "Point/" + std::to_string(size));
+      double opt = rep.get(base + "Opt/" + std::to_string(size));
+      t.row({loop, std::to_string(size), blk::bench::fmt_time(orig),
+             blk::bench::fmt_time(opt), blk::bench::fmt_speedup(orig, opt)});
+    }
+  }
+  t.print("Table T1 (paper §3.2): convolution kernels, point vs transformed "
+          "(paper speedups 1.80-1.91 at 300/500)");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// A3 (§5.3, qualitative): Householder QR point vs compact-WY block.  The
+// paper proves the block form is NOT compiler-derivable (the T matrix is
+// new computation) and motivates the §6 language extensions with it; this
+// bench quantifies what that underivable form buys.
+#include "bench/benchutil.hpp"
+#include "kernels/qr_householder.hpp"
+
+namespace {
+
+using namespace blk::kernels;
+
+void BM_HouseholderPoint(benchmark::State& st) {
+  const std::size_t n = static_cast<std::size_t>(st.range(0));
+  Matrix a0(n, n);
+  fill_random(a0, 29);
+  Matrix a = a0;
+  std::vector<double> tau;
+  for (auto _ : st) {
+    a = a0;
+    householder_qr_point(a, tau);
+    benchmark::DoNotOptimize(a.flat().data());
+  }
+}
+
+void BM_HouseholderBlock(benchmark::State& st) {
+  const std::size_t n = static_cast<std::size_t>(st.range(0));
+  Matrix a0(n, n);
+  fill_random(a0, 29);
+  Matrix a = a0;
+  std::vector<double> tau;
+  const std::size_t ks = static_cast<std::size_t>(st.range(1));
+  for (auto _ : st) {
+    a = a0;
+    householder_qr_block(a, tau, ks);
+    benchmark::DoNotOptimize(a.flat().data());
+  }
+}
+
+void register_all() {
+  for (long n : {300L, 500L, 1000L}) {
+    benchmark::RegisterBenchmark("BM_HouseholderPoint", BM_HouseholderPoint)
+        ->Args({n, 0});
+    for (long ks : {16L, 32L})
+      benchmark::RegisterBenchmark("BM_HouseholderBlock",
+                                   BM_HouseholderBlock)
+          ->Args({n, ks});
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  auto rep = blk::bench::run_all(argc, argv);
+  blk::bench::Table t(
+      {"Size", "Block", "Point", "Block (compact WY)", "Speedup"});
+  for (long n : {300L, 500L, 1000L}) {
+    double p = rep.get("BM_HouseholderPoint/" + std::to_string(n) + "/0");
+    for (long ks : {16L, 32L}) {
+      double b = rep.get("BM_HouseholderBlock/" + std::to_string(n) + "/" +
+                         std::to_string(ks));
+      t.row({std::to_string(n), std::to_string(ks), blk::bench::fmt_time(p),
+             blk::bench::fmt_time(b), blk::bench::fmt_speedup(p, b)});
+    }
+  }
+  t.print("A3 (paper §5.3): Householder QR — what the compiler-underivable "
+          "compact-WY block form buys (motivation for BLOCK DO)");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// T3 (§5.1 table): LU decomposition without pivoting — Point vs the
+// hand-coded block "1" (Sorensen) vs the derived block "2" (Fig. 6) vs
+// "2+" (Fig. 6 + unroll-and-jam + scalar replacement).  The paper's shape:
+// "1" and "2" roughly tie with Point; "2+" wins ~2.5-3.2x.  Sizes beyond
+// the paper's 300/500 are included because modern caches are far larger
+// than the RS/6000 540's 64 KB.
+#include "bench/benchutil.hpp"
+#include "kernels/lu.hpp"
+
+namespace {
+
+using namespace blk::kernels;
+
+// Arg encoding: n, ks (ks ignored by the point algorithm).
+void BM_Point(benchmark::State& st) {
+  Matrix a0 = random_diag_dominant(static_cast<std::size_t>(st.range(0)), 3);
+  Matrix a = a0;
+  for (auto _ : st) {
+    a = a0;
+    lu_point(a);
+    benchmark::DoNotOptimize(a.flat().data());
+  }
+}
+
+template <void (*Kernel)(Matrix&, std::size_t)>
+void BM_Block(benchmark::State& st) {
+  Matrix a0 = random_diag_dominant(static_cast<std::size_t>(st.range(0)), 3);
+  Matrix a = a0;
+  const std::size_t ks = static_cast<std::size_t>(st.range(1));
+  for (auto _ : st) {
+    a = a0;
+    Kernel(a, ks);
+    benchmark::DoNotOptimize(a.flat().data());
+  }
+}
+
+constexpr long kSizes[] = {300, 500, 1000};
+constexpr long kBlocks[] = {32, 64};
+
+void register_all() {
+  for (long n : kSizes) {
+    benchmark::RegisterBenchmark("BM_Point", BM_Point)->Args({n, 0});
+    for (long ks : kBlocks) {
+      benchmark::RegisterBenchmark("BM_Sorensen",
+                                   BM_Block<lu_block_sorensen>)
+          ->Args({n, ks});
+      benchmark::RegisterBenchmark("BM_Derived", BM_Block<lu_block_derived>)
+          ->Args({n, ks});
+      benchmark::RegisterBenchmark("BM_Opt", BM_Block<lu_block_opt>)
+          ->Args({n, ks});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  auto rep = blk::bench::run_all(argc, argv);
+  blk::bench::Table t({"Size", "Block", "Point", "1 (Sorensen)",
+                       "2 (derived)", "2+ (UJ+SR)", "Speedup(2+ vs Point)"});
+  for (long n : kSizes) {
+    double point = rep.get("BM_Point/" + std::to_string(n) + "/0");
+    for (long ks : kBlocks) {
+      std::string sfx = "/" + std::to_string(n) + "/" + std::to_string(ks);
+      double s1 = rep.get("BM_Sorensen" + sfx);
+      double s2 = rep.get("BM_Derived" + sfx);
+      double s2p = rep.get("BM_Opt" + sfx);
+      t.row({std::to_string(n), std::to_string(ks),
+             blk::bench::fmt_time(point), blk::bench::fmt_time(s1),
+             blk::bench::fmt_time(s2), blk::bench::fmt_time(s2p),
+             blk::bench::fmt_speedup(point, s2p)});
+    }
+  }
+  t.print("Table T3 (paper §5.1): LU without pivoting (paper speedups "
+          "2.53-3.17 for 2+ at 300/500, KS 32/64)");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// T4 (§5.2 table): LU with partial pivoting — Point (Fig. 7) vs the block
+// algorithm "1" (Fig. 8, derivable only with commutativity knowledge) vs
+// "1+" (block + unroll-and-jam + scalar replacement).  Paper shape: "1"
+// roughly ties with Point; "1+" wins ~2.3-2.7x.
+#include "bench/benchutil.hpp"
+#include "kernels/lu_pivot.hpp"
+
+namespace {
+
+using namespace blk::kernels;
+
+void BM_Point(benchmark::State& st) {
+  const std::size_t n = static_cast<std::size_t>(st.range(0));
+  Matrix a0(n, n);
+  fill_random(a0, 7);
+  Matrix a = a0;
+  std::vector<std::size_t> piv;
+  for (auto _ : st) {
+    a = a0;
+    lu_pivot_point(a, piv);
+    benchmark::DoNotOptimize(a.flat().data());
+  }
+}
+
+template <void (*Kernel)(Matrix&, std::vector<std::size_t>&, std::size_t)>
+void BM_Block(benchmark::State& st) {
+  const std::size_t n = static_cast<std::size_t>(st.range(0));
+  Matrix a0(n, n);
+  fill_random(a0, 7);
+  Matrix a = a0;
+  std::vector<std::size_t> piv;
+  const std::size_t ks = static_cast<std::size_t>(st.range(1));
+  for (auto _ : st) {
+    a = a0;
+    Kernel(a, piv, ks);
+    benchmark::DoNotOptimize(a.flat().data());
+  }
+}
+
+constexpr long kSizes[] = {300, 500, 1000};
+constexpr long kBlocks[] = {32, 64};
+
+void register_all() {
+  for (long n : kSizes) {
+    benchmark::RegisterBenchmark("BM_Point", BM_Point)->Args({n, 0});
+    for (long ks : kBlocks) {
+      benchmark::RegisterBenchmark("BM_Block", BM_Block<lu_pivot_block>)
+          ->Args({n, ks});
+      benchmark::RegisterBenchmark("BM_Opt", BM_Block<lu_pivot_block_opt>)
+          ->Args({n, ks});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  register_all();
+  auto rep = blk::bench::run_all(argc, argv);
+  blk::bench::Table t({"Size", "Block", "Point", "1 (block)", "1+ (UJ+SR)",
+                       "Speedup(1+ vs Point)"});
+  for (long n : kSizes) {
+    double point = rep.get("BM_Point/" + std::to_string(n) + "/0");
+    for (long ks : kBlocks) {
+      std::string sfx = "/" + std::to_string(n) + "/" + std::to_string(ks);
+      double b = rep.get("BM_Block" + sfx);
+      double o = rep.get("BM_Opt" + sfx);
+      t.row({std::to_string(n), std::to_string(ks),
+             blk::bench::fmt_time(point), blk::bench::fmt_time(b),
+             blk::bench::fmt_time(o), blk::bench::fmt_speedup(point, o)});
+    }
+  }
+  t.print("Table T4 (paper §5.2): LU with partial pivoting (paper speedups "
+          "2.27-2.72 for 1+ at 300/500, KS 32/64)");
+  return 0;
+}

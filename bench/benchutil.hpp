@@ -1,0 +1,101 @@
+// Shared benchmark plumbing: google-benchmark as the timing engine, plus a
+// capture reporter so each binary can end with the paper-style table
+// (the same rows the 1992 tables report, with measured speedups).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace blk::bench {
+
+/// Console reporter that also records mean per-iteration real time (s)
+/// under each benchmark's full name ("BM_LuPoint/300").
+class CaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  std::map<std::string, double> seconds;
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.iterations > 0)
+        seconds[r.benchmark_name()] =
+            r.real_accumulated_time / static_cast<double>(r.iterations);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Time for a name, or -1 when the benchmark did not run (filtered out).
+  [[nodiscard]] double get(const std::string& name) const {
+    auto it = seconds.find(name);
+    return it == seconds.end() ? -1.0 : it->second;
+  }
+};
+
+/// Run all registered benchmarks and return the capture.
+inline CaptureReporter run_all(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  CaptureReporter rep;
+  benchmark::RunSpecifiedBenchmarks(&rep);
+  return rep;
+}
+
+/// Format seconds like the paper's tables (e.g. "2.55s" scaled to ms when
+/// small).
+inline std::string fmt_time(double s) {
+  char buf[32];
+  if (s < 0) return "n/a";
+  if (s >= 0.1)
+    std::snprintf(buf, sizeof buf, "%.2fs", s);
+  else
+    std::snprintf(buf, sizeof buf, "%.3fms", s * 1e3);
+  return buf;
+}
+
+inline std::string fmt_speedup(double base, double other) {
+  if (base < 0 || other <= 0) return "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", base / other);
+  return buf;
+}
+
+/// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print(const std::string& title) const {
+    std::vector<std::size_t> w(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        if (r[c].size() > w[c]) w[c] = r[c].size();
+    std::printf("\n=== %s ===\n", title.c_str());
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < header_.size(); ++c)
+        std::printf(" %-*s |", static_cast<int>(w[c]),
+                    c < cells.size() ? cells[c].c_str() : "");
+      std::printf("\n");
+    };
+    line(header_);
+    std::printf("|");
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      for (std::size_t i = 0; i < w[c] + 2; ++i) std::printf("-");
+      std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace blk::bench

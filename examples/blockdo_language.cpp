@@ -1,0 +1,83 @@
+// §6 end to end: the machine-independent BLOCK DO source for block LU
+// (Fig. 11), compiled by the mini-Fortran front end, with the blocking
+// factor chosen by the compiler's machine model — never by the programmer.
+//
+//   $ ./examples/blockdo_language
+#include <cstdio>
+
+#include "interp/interp.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "lang/blockdo.hpp"
+#include "lang/parser.hpp"
+
+using namespace blk;
+
+static const char* kFig11 = R"(
+PARAMETER N
+REAL*8 A(N,N)
+BLOCK DO K = 1, N-1
+  IN K DO KK
+    DO I = KK+1, N
+      A(I,KK) = A(I,KK)/A(KK,KK)
+    ENDDO
+    DO J = KK+1, LAST(K)
+      DO I = KK+1, N
+        A(I,J) = A(I,J) - A(I,KK)*A(KK,J)
+      ENDDO
+    ENDDO
+  ENDDO
+  DO J = LAST(K)+1, N
+    DO I = K+1, N
+      IN K DO KK = K, MIN(LAST(K), I-1)
+        A(I,J) = A(I,J) - A(I,KK)*A(KK,J)
+      ENDDO
+    ENDDO
+  ENDDO
+ENDDO
+)";
+
+int main() {
+  std::printf("Machine-independent source (the paper's Fig. 11):\n%s\n",
+              kFig11);
+
+  auto cr = lang::compile(kFig11);
+  std::printf("Lowered IR (blocking factor still symbolic):\n%s\n",
+              ir::print(cr.program.body).c_str());
+
+  // Two machines, two factors — same source.
+  struct Target {
+    const char* name;
+    lang::MachineModel machine;
+  };
+  const Target targets[] = {
+      {"RS/6000 540 (64KB cache)", {}},
+      {"small embedded (8KB cache)", {.cache_bytes = 8 * 1024}},
+      {"large L2 (512KB)", {.cache_bytes = 512 * 1024}},
+  };
+  for (const auto& t : targets) {
+    auto sizes = lang::choose_block_sizes(cr, t.machine);
+    std::printf("%-28s -> BS_K = %ld\n", t.name, sizes.at("BS_K"));
+  }
+
+  // Bind the RS/6000 choice and check against the point algorithm.
+  auto sizes = lang::choose_block_sizes(cr, {});
+  lang::bind_block_sizes(cr, sizes);
+  ir::Program point = kernels::lu_point_ir();
+  const long n = 40;
+  interp::Interpreter ia(point, {{"N", n}});
+  interp::Interpreter ib(cr.program, {{"N", n}});
+  for (auto* in : {&ia, &ib}) {
+    auto& t = in->store().arrays.at("A");
+    interp::fill_random(t, 7);
+    for (long i = 1; i <= n; ++i) {
+      std::vector<long> idx{i, i};
+      t.at(idx) += static_cast<double>(n);
+    }
+  }
+  ia.run();
+  ib.run();
+  std::printf("\nBLOCK DO LU vs point LU at N=%ld: max |difference| = %g\n",
+              n, interp::max_abs_diff(ia.store(), ib.store()));
+  return 0;
+}

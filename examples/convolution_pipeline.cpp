@@ -1,0 +1,75 @@
+// The §3.2 seismic pipeline: take the adjoint convolution with its
+// MIN/MAX trapezoid bounds, split the iteration space, normalize the
+// rhomboidal piece, unroll-and-jam — all on IR — then time the equivalent
+// native kernels (the oil-exploration loops were 20% of that program's
+// runtime).
+//
+//   $ ./examples/convolution_pipeline
+#include <chrono>
+#include <cstdio>
+
+#include "interp/interp.hpp"
+#include "ir/printer.hpp"
+#include "kernels/conv.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "transform/blocking.hpp"
+#include "transform/split.hpp"
+#include "transform/unrolljam.hpp"
+
+using namespace blk;
+using namespace blk::ir;
+
+int main() {
+  Program p = kernels::aconv_ir();
+  std::printf("Adjoint convolution, point form:\n%s\n",
+              print(p.body).c_str());
+
+  // 1. Index-set split the trapezoid: one rhomboidal piece (K = I..I+N2)
+  //    and one triangular piece (K = I..N1).
+  auto loops = transform::split_trapezoid_all(p.body, p.body[0]->as_loop());
+  std::printf("After trapezoid splitting (%zu loops):\n%s\n", loops.size(),
+              print(p.body).c_str());
+
+  // 2. Normalize the rhomboid's K loop, making it rectangular, then
+  //    unroll-and-jam I by 4 (register blocking).
+  transform::normalize_loop(p.body, loops[0]->body[0]->as_loop());
+  transform::unroll_and_jam(p.body, *loops[0], 4);
+  std::printf("After normalization + unroll-and-jam of the rhomboid:\n%s\n",
+              print(p.body).c_str());
+
+  // 3. Verify against the original on the interpreter.
+  Program orig = kernels::aconv_ir();
+  const long size = 40;
+  ir::Env env{{"N1", size - 1}, {"N2", 6 * (size - 1) / 7},
+              {"N3", size - 1}};
+  interp::Interpreter ia(orig, env), ib(p, env);
+  for (auto* in : {&ia, &ib}) {
+    std::uint64_t k = 5;
+    for (auto& [name, t] : in->store().arrays) interp::fill_random(t, ++k);
+    in->store().scalars["DT"] = 0.25;
+  }
+  ia.run();
+  ib.run();
+  std::printf("max |difference| after the IR pipeline: %g\n\n",
+              interp::max_abs_diff(ia.store(), ib.store()));
+
+  // 4. The same pipeline hand-applied as native code (what the paper
+  //    timed): quick wall-clock comparison.
+  for (long s : {300L, 500L}) {
+    auto a = kernels::ConvProblem::make_aconv(s, 5);
+    auto b = kernels::ConvProblem::make_aconv(s, 5);
+    auto time = [](auto&& fn) {
+      auto t0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < 1000; ++i) fn();  // the paper's 1000 repetitions
+      return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           t0)
+          .count();
+    };
+    double tp = time([&] { kernels::aconv_point(a); });
+    double to = time([&] { kernels::aconv_opt(b); });
+    std::printf("Aconv size %3ld x1000 reps: original %.3fs, transformed "
+                "%.3fs, speedup %.2f\n",
+                s, tp, to, tp / to);
+  }
+  return 0;
+}

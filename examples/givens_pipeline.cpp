@@ -1,0 +1,61 @@
+// §5.4 end to end: Fig. 9 -> Fig. 10 by the fully automatic driver, then
+// the native kernels' timing shape (the paper's table T5).
+//
+//   $ ./examples/givens_pipeline
+#include <chrono>
+#include <cstdio>
+
+#include "interp/interp.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "kernels/qr_givens.hpp"
+#include "transform/blocking.hpp"
+
+using namespace blk;
+using namespace blk::ir;
+
+int main() {
+  Program p = kernels::givens_qr_ir();
+  std::printf("Givens QR, point algorithm (the paper's Fig. 9):\n%s\n",
+              print(p.body).c_str());
+
+  Program orig = p.clone();
+  auto res = transform::optimize_givens(p);
+  std::printf("After optimize_givens (%d interchanges — the paper's "
+              "Fig. 10):\n%s\n",
+              res.interchanges, print(p.body).c_str());
+
+  // Identical results on the interpreter.
+  const long m = 18, n = 14;
+  interp::Interpreter ia(orig, {{"M", m}, {"N", n}});
+  interp::Interpreter ib(p, {{"M", m}, {"N", n}});
+  for (auto* in : {&ia, &ib}) {
+    auto& t = in->store().arrays.at("A");
+    interp::fill_random(t, 8);
+  }
+  ia.run();
+  ib.run();
+  std::printf("max |point - optimized| on the interpreter: %g\n\n",
+              interp::max_abs_diff(ia.store(), ib.store()));
+
+  // The native kernels (what bench_givens_qr measures in full).
+  for (std::size_t size : {300UL, 500UL}) {
+    kernels::Matrix a0(size, size);
+    kernels::fill_random(a0, 9);
+    auto time = [&](auto&& fn) {
+      kernels::Matrix a = a0;
+      auto t0 = std::chrono::steady_clock::now();
+      fn(a);
+      return std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - t0)
+          .count();
+    };
+    double tp = time([](kernels::Matrix& a) { kernels::givens_qr_point(a); });
+    double to = time([](kernels::Matrix& a) { kernels::givens_qr_opt(a); });
+    std::printf("%zux%zu: point %.1fms, optimized %.1fms, speedup %.2f "
+                "(paper: %.2f)\n",
+                size, size, tp * 1e3, to * 1e3, tp / to,
+                size == 300 ? 2.04 : 5.49);
+  }
+  return 0;
+}

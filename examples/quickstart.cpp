@@ -1,0 +1,56 @@
+// Quickstart: build a loop nest with the IR builder, block it with
+// strip-mine-and-interchange, and verify the transformation with the
+// interpreter — the §2.3 running example end to end.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "interp/interp.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "transform/blocking.hpp"
+
+using namespace blk;
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+int main() {
+  // The paper's §2.3 loop: every iteration of J re-reads all of A.
+  //   DO J = 1,N / DO I = 1,M / A(I) = A(I) + B(J)
+  Program p;
+  p.param("N");
+  p.param("M");
+  p.array("A", {v("M")});
+  p.array("B", {v("N")});
+  p.add(loop("J", c(1), v("N"),
+             loop("I", c(1), v("M"),
+                  assign(lv("A", {v("I")}),
+                         a("A", {v("I")}) + a("B", {v("J")})))));
+
+  std::printf("Point form:\n%s\n", print(p).c_str());
+
+  // Block the J loop: strip-mine by a symbolic factor JS and sink the
+  // strip loop inward (the compiler checks dependence legality).
+  Program blocked = p.clone();
+  blocked.param("JS");
+  transform::strip_mine_and_interchange(blocked,
+                                        blocked.body[0]->as_loop(),
+                                        ivar("JS"));
+  std::printf("After strip-mine-and-interchange (JS-wide blocks of B now "
+              "stay in cache):\n%s\n",
+              print(blocked.body).c_str());
+
+  // Prove the two versions identical on real data.
+  ir::Env env{{"N", 100}, {"M", 1000}};
+  ir::Env benv = env;
+  benv["JS"] = 16;
+  interp::Interpreter ia(p, env);
+  interp::Interpreter ib(blocked, benv);
+  for (auto& [name, t] : ia.store().arrays) interp::fill_random(t, 1);
+  for (auto& [name, t] : ib.store().arrays) interp::fill_random(t, 1);
+  ia.run();
+  ib.run();
+  std::printf("max |difference| between point and blocked runs: %g\n",
+              interp::max_abs_diff(ia.store(), ib.store()));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Bounded regular section analysis (Havlak/Kennedy-style, Fortran-90
+// triplet precision) — the representation the paper chooses for Procedure
+// IndexSetSplit: "equivalent to Fortran 90 array notation".
+//
+// A section summarizes the portion of an array touched by one reference
+// over the full execution of a set of loops, as one triplet lb:ub per
+// dimension (strides are tracked but the paper's algorithms need only the
+// bounds).  Comparisons (subset / disjoint / equal) are answered with the
+// symbolic Assumptions context.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/assume.hpp"
+#include "analysis/refs.hpp"
+
+namespace blk::analysis {
+
+/// One dimension of a section: inclusive symbolic bounds.
+struct Triplet {
+  ir::IExprPtr lb;
+  ir::IExprPtr ub;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A bounded regular section of `array`.
+struct Section {
+  std::string array;
+  std::vector<Triplet> dims;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Compute the section touched by `ref` when the loops in `expand` run over
+/// their full ranges.  `expand` must be a suffix of ref.loops (innermost
+/// loops are expanded; outer ones stay symbolic).  Bounds containing
+/// MIN/MAX are kept as-is (conservatively exact for these monotone forms).
+[[nodiscard]] Section section_of(const RefInfo& ref,
+                                 std::span<ir::Loop* const> expand);
+
+/// Convenience: expand the loops strictly inside `outer` (i.e. every loop
+/// of ref.loops from `outer` inward, including `outer` itself).
+[[nodiscard]] Section section_within(const RefInfo& ref,
+                                     const ir::Loop& outer);
+
+/// Extreme value of `e` as the given loops sweep their full ranges
+/// (`lower` selects min vs max), exploiting monotonicity; loops are
+/// expanded innermost-first so bounds referencing outer variables resolve.
+/// Returns nullptr when the expression's shape defeats the analysis.
+[[nodiscard]] ir::IExprPtr sweep_extreme(const ir::IExprPtr& e,
+                                         std::span<ir::Loop* const> loops,
+                                         bool lower);
+
+/// Section comparison verdicts are conservative: nullopt = cannot prove.
+[[nodiscard]] std::optional<bool> subset(const Section& a, const Section& b,
+                                         const Assumptions& ctx);
+[[nodiscard]] std::optional<bool> equal(const Section& a, const Section& b,
+                                        const Assumptions& ctx);
+/// Disjoint if provably separated in at least one dimension.
+[[nodiscard]] std::optional<bool> disjoint(const Section& a, const Section& b,
+                                           const Assumptions& ctx);
+
+/// A candidate split point produced from two overlapping sections
+/// (Fig. 3 steps 3-4): splitting the generator loop of one section at
+/// `boundary` (subscript values <= boundary in the first piece) makes the
+/// piece beyond the boundary provably disjoint from the other section.
+struct SplitBoundary {
+  std::size_t dim;        ///< array dimension the sections diverge in
+  bool split_b = false;   ///< true: split section b's generator, else a's
+  ir::IExprPtr boundary;  ///< subscript value ending the "common" piece
+  bool upper_side = true; ///< true: disjoint piece lies above the boundary
+};
+
+/// All provable split boundaries between two sections, best candidates
+/// first (upper-side splits of the section that extends further).  Empty
+/// when the sections are provably equal or nothing can be proven.
+[[nodiscard]] std::vector<SplitBoundary> split_boundaries(
+    const Section& a, const Section& b, const Assumptions& ctx);
+
+}  // namespace blk::analysis

@@ -1,0 +1,136 @@
+#include "cachesim/cache.hpp"
+
+#include <bit>
+#include <sstream>
+
+#include "ir/error.hpp"
+
+namespace blk::cachesim {
+
+namespace {
+
+[[nodiscard]] bool power_of_two(std::size_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  if (!power_of_two(cfg.size_bytes) || !power_of_two(cfg.line_bytes) ||
+      !power_of_two(cfg.assoc))
+    throw Error("Cache: geometry fields must be powers of two");
+  if (cfg.size_bytes % (cfg.line_bytes * cfg.assoc) != 0)
+    throw Error("Cache: size must be a multiple of line_bytes*assoc");
+  set_shift_ = static_cast<std::size_t>(std::countr_zero(cfg.line_bytes));
+  set_mask_ = cfg.num_sets() - 1;
+  lines_.assign(cfg.num_sets() * cfg.assoc, Line{});
+}
+
+bool Cache::access(std::uint64_t addr) {
+  ++clock_;
+  ++stats_.accesses;
+  std::uint64_t block = addr >> set_shift_;
+  std::size_t set = static_cast<std::size_t>(block) & set_mask_;
+  Line* base = &lines_[set * cfg_.assoc];
+
+  Line* victim = base;
+  for (std::size_t w = 0; w < cfg_.assoc; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == block) {
+      line.last_use = clock_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  ++stats_.misses;
+  if (victim->valid) ++stats_.evictions;
+  victim->valid = true;
+  victim->tag = block;
+  victim->last_use = clock_;
+  return false;
+}
+
+void Cache::reset() {
+  lines_.assign(lines_.size(), Line{});
+  clock_ = 0;
+  stats_ = CacheStats{};
+}
+
+CacheStats simulate(const ir::Program& p, const ir::Env& params,
+                    const CacheConfig& cfg, std::uint64_t seed) {
+  interp::Interpreter in(p, params);
+  for (auto& [name, t] : in.store().arrays) {
+    std::uint64_t k = seed;
+    for (char ch : name)
+      k = k * 1099511628211ULL + static_cast<unsigned char>(ch);
+    interp::fill_random(t, k);
+  }
+  Cache cache(cfg);
+  in.run(cache.trace_fn());
+  return cache.stats();
+}
+
+Hierarchy::Hierarchy(std::vector<CacheConfig> levels) {
+  if (levels.empty()) throw Error("Hierarchy: need at least one level");
+  levels_.reserve(levels.size());
+  for (const auto& cfg : levels) levels_.emplace_back(cfg);
+}
+
+std::size_t Hierarchy::access(std::uint64_t addr) {
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    if (levels_[i].access(addr)) return i;
+  return levels_.size();
+}
+
+void Hierarchy::reset() {
+  for (auto& l : levels_) l.reset();
+}
+
+double Hierarchy::amat(std::span<const double> latencies) const {
+  if (latencies.size() != levels_.size() + 1)
+    throw Error("Hierarchy::amat: need one latency per level plus memory");
+  // Every access costs L1's latency; each level's misses additionally pay
+  // the next level's latency.
+  const double total =
+      static_cast<double>(levels_.front().stats().accesses);
+  if (total == 0) return 0.0;
+  double cycles = total * latencies[0];
+  for (std::size_t i = 0; i < levels_.size(); ++i)
+    cycles +=
+        static_cast<double>(levels_[i].stats().misses) * latencies[i + 1];
+  return cycles / total;
+}
+
+std::vector<CacheStats> simulate_hierarchy(const ir::Program& p,
+                                           const ir::Env& params,
+                                           std::vector<CacheConfig> levels,
+                                           std::uint64_t seed) {
+  interp::Interpreter in(p, params);
+  for (auto& [name, t] : in.store().arrays) {
+    std::uint64_t k = seed;
+    for (char ch : name)
+      k = k * 1099511628211ULL + static_cast<unsigned char>(ch);
+    interp::fill_random(t, k);
+  }
+  Hierarchy h(std::move(levels));
+  in.run(h.trace_fn());
+  std::vector<CacheStats> out;
+  for (std::size_t i = 0; i < h.num_levels(); ++i)
+    out.push_back(h.stats(i));
+  return out;
+}
+
+std::string summary(const CacheConfig& cfg, const CacheStats& st) {
+  std::ostringstream os;
+  os << cfg.size_bytes / 1024 << "KB/" << cfg.line_bytes << "B/" << cfg.assoc
+     << "-way: " << st.accesses << " accesses, "
+     << static_cast<double>(st.miss_ratio() * 100.0) << "% miss";
+  return os.str();
+}
+
+}  // namespace blk::cachesim

@@ -1,0 +1,130 @@
+// IR interpreter.
+//
+// Executes any blk::ir::Program against dense double-precision storage.  It
+// is the library's correctness oracle: a transformation is validated by
+// running the original and transformed programs on identical random inputs
+// and comparing every array element.  An optional trace callback receives
+// each array access as a synthetic byte address, which feeds the cache
+// simulator (src/cachesim) to measure memory behaviour machine-independently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace blk::interp {
+
+/// Dense Fortran-layout (column-major) array with per-dimension lower bounds.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::vector<long> lower, std::vector<long> upper,
+         std::uint64_t base_addr);
+
+  [[nodiscard]] std::size_t rank() const { return lower_.size(); }
+  [[nodiscard]] long lower(std::size_t d) const { return lower_[d]; }
+  [[nodiscard]] long upper(std::size_t d) const { return upper_[d]; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Column-major flat offset of a (bounds-checked) index tuple.
+  [[nodiscard]] std::size_t offset(std::span<const long> idx) const;
+
+  [[nodiscard]] double& at(std::span<const long> idx) {
+    return data_[offset(idx)];
+  }
+  [[nodiscard]] double at(std::span<const long> idx) const {
+    return data_[offset(idx)];
+  }
+
+  /// Synthetic byte address of an element (for cache tracing).
+  [[nodiscard]] std::uint64_t address(std::size_t flat) const {
+    return base_addr_ + flat * sizeof(double);
+  }
+
+  [[nodiscard]] std::span<double> flat() { return data_; }
+  [[nodiscard]] std::span<const double> flat() const { return data_; }
+
+ private:
+  std::vector<long> lower_;
+  std::vector<long> upper_;
+  std::vector<std::size_t> stride_;
+  std::vector<double> data_;
+  std::uint64_t base_addr_ = 0;
+};
+
+/// All live variables during a run.
+struct Store {
+  std::map<std::string, Tensor> arrays;
+  std::map<std::string, double> scalars;
+};
+
+/// Trace callback: one event per array-element access.
+using TraceFn = std::function<void(std::uint64_t addr, bool is_write)>;
+
+/// Interpreter for one program instance.
+///
+/// Lifecycle: construct with the program and concrete parameter values;
+/// arrays are allocated from the declarations (each array placed at a
+/// distinct 64-byte-aligned synthetic base address); fill inputs through
+/// `store()`; then `run()`.
+class Interpreter {
+ public:
+  Interpreter(const ir::Program& program, ir::Env params);
+
+  [[nodiscard]] Store& store() { return store_; }
+  [[nodiscard]] const Store& store() const { return store_; }
+  [[nodiscard]] const ir::Env& params() const { return params_; }
+
+  /// Execute the program body.  Throws blk::Error on out-of-bounds
+  /// accesses, unbound variables, or non-terminating loop steps.
+  void run(const TraceFn& trace = nullptr);
+
+  /// Total number of statement executions in the last run (a cheap
+  /// operation-count proxy used by tests).
+  [[nodiscard]] std::uint64_t statements_executed() const { return stmts_; }
+
+ private:
+  const ir::Program& program_;
+  ir::Env params_;
+  Store store_;
+  ir::Env loop_env_;  ///< params + live loop variables
+  const TraceFn* trace_ = nullptr;
+  std::uint64_t stmts_ = 0;
+
+  void exec_list(const ir::StmtList& body);
+  void exec(const ir::Stmt& s);
+  /// Index-expression evaluation with runtime extensions: variables not
+  /// bound by a loop or parameter fall back to integer-valued scalars
+  /// (IF-inspection counters, pivot indices), and ArrayElem nodes read the
+  /// live store (KLB(KN)-style bounds).
+  [[nodiscard]] long ieval(const ir::IExpr& e);
+  [[nodiscard]] long ieval(const ir::IExprPtr& e) { return ieval(*e); }
+  [[nodiscard]] double eval(const ir::VExpr& e);
+  [[nodiscard]] bool eval_cond(const ir::Cond& c);
+  [[nodiscard]] double load(const std::string& name,
+                            std::span<const long> idx);
+  void store_element(const std::string& name, std::span<const long> idx,
+                     double v);
+  [[nodiscard]] std::vector<long> eval_subs(
+      const std::vector<ir::IExprPtr>& subs);
+};
+
+// ---- Test / benchmark conveniences ------------------------------------------
+
+/// Fill a tensor with deterministic pseudo-random values in [lo, hi).
+void fill_random(Tensor& t, std::uint64_t seed, double lo = -1.0,
+                 double hi = 1.0);
+
+/// Max |a-b| over all arrays common to both stores; throws if shapes differ.
+[[nodiscard]] double max_abs_diff(const Store& a, const Store& b);
+
+/// Run `p` under `params` with inputs seeded by `seed`; returns the store.
+[[nodiscard]] Store run_seeded(const ir::Program& p, const ir::Env& params,
+                               std::uint64_t seed);
+
+}  // namespace blk::interp

@@ -1,0 +1,137 @@
+#include "ir/affine.hpp"
+
+#include "ir/error.hpp"
+
+namespace blk::ir {
+
+Affine& Affine::operator+=(const Affine& o) {
+  for (const auto& [v, k] : o.coef) {
+    long nk = coef_of(v) + k;
+    if (nk == 0)
+      coef.erase(v);
+    else
+      coef[v] = nk;
+  }
+  constant += o.constant;
+  return *this;
+}
+
+Affine& Affine::operator-=(const Affine& o) {
+  for (const auto& [v, k] : o.coef) {
+    long nk = coef_of(v) - k;
+    if (nk == 0)
+      coef.erase(v);
+    else
+      coef[v] = nk;
+  }
+  constant -= o.constant;
+  return *this;
+}
+
+Affine& Affine::operator*=(long k) {
+  if (k == 0) {
+    coef.clear();
+    constant = 0;
+    return *this;
+  }
+  for (auto& [v, c] : coef) c *= k;
+  constant *= k;
+  return *this;
+}
+
+std::optional<Affine> as_affine(const IExpr& e) {
+  switch (e.kind) {
+    case IKind::Const:
+      return Affine::constant_term(e.value);
+    case IKind::Var:
+      return Affine::variable(e.name);
+    case IKind::Add: {
+      auto l = as_affine(*e.lhs);
+      auto r = as_affine(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      return *l + *r;
+    }
+    case IKind::Sub: {
+      auto l = as_affine(*e.lhs);
+      auto r = as_affine(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      return *l - *r;
+    }
+    case IKind::Mul: {
+      auto l = as_affine(*e.lhs);
+      auto r = as_affine(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      if (l->is_constant()) return *r * l->constant;
+      if (r->is_constant()) return *l * r->constant;
+      return std::nullopt;  // genuinely quadratic
+    }
+    case IKind::Min:
+    case IKind::Max: {
+      // MIN/MAX of provably-ordered affine operands collapses.
+      auto l = as_affine(*e.lhs);
+      auto r = as_affine(*e.rhs);
+      if (!l || !r) return std::nullopt;
+      auto s = constant_sign(*l - *r);
+      if (!s) return std::nullopt;
+      bool take_lhs = (e.kind == IKind::Min) ? (*s <= 0) : (*s >= 0);
+      return take_lhs ? *l : *r;
+    }
+    case IKind::ArrayElem:
+      return std::nullopt;  // runtime value, opaque to symbolic analysis
+    case IKind::FloorDiv:
+    case IKind::CeilDiv: {
+      // Exactly divisible affine forms stay affine: (k*d*x + c*d)/d.
+      auto l = as_affine(*e.lhs);
+      if (!l || e.rhs->kind != IKind::Const) return std::nullopt;
+      long d = e.rhs->value;
+      if (d <= 0) return std::nullopt;
+      for (const auto& [v, k] : l->coef)
+        if (k % d != 0) return std::nullopt;
+      if (l->constant % d != 0) return std::nullopt;
+      Affine out;
+      for (const auto& [v, k] : l->coef) out.coef[v] = k / d;
+      out.constant = l->constant / d;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+IExprPtr from_affine(const Affine& a) {
+  IExprPtr acc;
+  for (const auto& [v, k] : a.coef) {
+    if (k == 0) continue;
+    if (!acc) {
+      acc = (k == 1) ? ivar(v) : imul(iconst(k), ivar(v));
+      continue;
+    }
+    // Subsequent terms render with their sign for readable output
+    // (N1 - N2, not N1 + -1*N2).
+    if (k > 0)
+      acc = iadd(std::move(acc),
+                 k == 1 ? ivar(v) : imul(iconst(k), ivar(v)));
+    else
+      acc = isub(std::move(acc),
+                 k == -1 ? ivar(v) : imul(iconst(-k), ivar(v)));
+  }
+  if (!acc) return iconst(a.constant);
+  if (a.constant > 0) return iadd(std::move(acc), iconst(a.constant));
+  if (a.constant < 0) return isub(std::move(acc), iconst(-a.constant));
+  return acc;
+}
+
+std::optional<Affine> affine_difference(const IExprPtr& a, const IExprPtr& b) {
+  auto fa = as_affine(*a);
+  auto fb = as_affine(*b);
+  if (!fa || !fb) return std::nullopt;
+  return *fa - *fb;
+}
+
+std::optional<int> constant_sign(const Affine& a) {
+  if (!a.is_constant()) return std::nullopt;
+  if (a.constant < 0) return -1;
+  if (a.constant > 0) return 1;
+  return 0;
+}
+
+}  // namespace blk::ir

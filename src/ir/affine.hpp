@@ -1,0 +1,76 @@
+// Affine normal form for index expressions.
+//
+// An `Affine` is   sum_i  coef[v_i] * v_i  +  constant   over distinct
+// variable names.  Most of the compiler's symbolic reasoning — dependence
+// tests, section intersection, split-point solving — happens on this form.
+// `as_affine` converts an IExpr tree when possible (MIN/MAX/division nodes
+// make an expression non-affine).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ir/iexpr.hpp"
+
+namespace blk::ir {
+
+/// Affine form of an index expression: coef-map plus constant term.
+/// Zero coefficients are never stored, so `coef.empty()` means "constant".
+struct Affine {
+  std::map<std::string, long> coef;
+  long constant = 0;
+
+  [[nodiscard]] bool is_constant() const { return coef.empty(); }
+
+  /// Coefficient of `v` (0 when absent).
+  [[nodiscard]] long coef_of(const std::string& v) const {
+    auto it = coef.find(v);
+    return it == coef.end() ? 0 : it->second;
+  }
+
+  Affine& operator+=(const Affine& o);
+  Affine& operator-=(const Affine& o);
+  Affine& operator*=(long k);
+  [[nodiscard]] friend Affine operator+(Affine a, const Affine& b) {
+    a += b;
+    return a;
+  }
+  [[nodiscard]] friend Affine operator-(Affine a, const Affine& b) {
+    a -= b;
+    return a;
+  }
+  [[nodiscard]] friend Affine operator*(Affine a, long k) {
+    a *= k;
+    return a;
+  }
+  [[nodiscard]] bool operator==(const Affine& o) const = default;
+
+  [[nodiscard]] static Affine constant_term(long c) { return {.coef = {}, .constant = c}; }
+  [[nodiscard]] static Affine variable(const std::string& v, long k = 1) {
+    Affine a;
+    if (k != 0) a.coef[v] = k;
+    return a;
+  }
+};
+
+/// Convert to affine normal form; nullopt when the tree contains MIN/MAX,
+/// division, or a product of two non-constant subtrees.
+[[nodiscard]] std::optional<Affine> as_affine(const IExpr& e);
+[[nodiscard]] inline std::optional<Affine> as_affine(const IExprPtr& e) {
+  return as_affine(*e);
+}
+
+/// Rebuild a canonical IExpr from an affine form (variables in map order,
+/// constant last).
+[[nodiscard]] IExprPtr from_affine(const Affine& a);
+
+/// a - b when both sides are affine, else nullopt.
+[[nodiscard]] std::optional<Affine> affine_difference(const IExprPtr& a,
+                                                      const IExprPtr& b);
+
+/// Sign of an affine form that is provably constant: returns -1, 0 or +1,
+/// or nullopt when the form involves variables.
+[[nodiscard]] std::optional<int> constant_sign(const Affine& a);
+
+}  // namespace blk::ir

@@ -1,0 +1,114 @@
+// Terse construction helpers for writing kernels as IR.
+//
+// Typical use (LU point algorithm, §5.1):
+//
+//   using namespace blk::ir::dsl;
+//   Program p;
+//   p.param("N");
+//   p.array("A", {v("N"), v("N")});
+//   p.add(loop("K", c(1), v("N") - c(1), {
+//       loop("I", v("K") + c(1), v("N"),
+//            {assign(lv("A", {v("I"), v("K")}),
+//                    a("A", {v("I"), v("K")}) / a("A", {v("K"), v("K")}), 20)}),
+//       ...}));
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace blk::ir::dsl {
+
+[[nodiscard]] inline IExprPtr c(long x) { return iconst(x); }
+[[nodiscard]] inline IExprPtr v(const std::string& n) { return ivar(n); }
+
+[[nodiscard]] inline IExprPtr operator+(IExprPtr a, IExprPtr b) {
+  return iadd(std::move(a), std::move(b));
+}
+[[nodiscard]] inline IExprPtr operator+(IExprPtr a, long b) {
+  return iadd(std::move(a), b);
+}
+[[nodiscard]] inline IExprPtr operator-(IExprPtr a, IExprPtr b) {
+  return isub(std::move(a), std::move(b));
+}
+[[nodiscard]] inline IExprPtr operator-(IExprPtr a, long b) {
+  return isub(std::move(a), b);
+}
+[[nodiscard]] inline IExprPtr operator*(long a, IExprPtr b) {
+  return imul(a, std::move(b));
+}
+[[nodiscard]] inline IExprPtr operator*(IExprPtr a, IExprPtr b) {
+  return imul(std::move(a), std::move(b));
+}
+
+/// Array read A(subs...).
+[[nodiscard]] inline VExprPtr a(std::string name, std::vector<IExprPtr> subs) {
+  return vref(std::move(name), std::move(subs));
+}
+/// Scalar read.
+[[nodiscard]] inline VExprPtr s(std::string name) {
+  return vscalar(std::move(name));
+}
+/// Floating literal.
+[[nodiscard]] inline VExprPtr f(double x) { return vconst(x); }
+
+[[nodiscard]] inline VExprPtr operator+(VExprPtr x, VExprPtr y) {
+  return vadd(std::move(x), std::move(y));
+}
+[[nodiscard]] inline VExprPtr operator-(VExprPtr x, VExprPtr y) {
+  return vsub(std::move(x), std::move(y));
+}
+[[nodiscard]] inline VExprPtr operator*(VExprPtr x, VExprPtr y) {
+  return vmul(std::move(x), std::move(y));
+}
+[[nodiscard]] inline VExprPtr operator/(VExprPtr x, VExprPtr y) {
+  return vdiv(std::move(x), std::move(y));
+}
+[[nodiscard]] inline VExprPtr operator-(VExprPtr x) {
+  return vneg(std::move(x));
+}
+
+/// Array lvalue A(subs...).
+[[nodiscard]] inline LValue lv(std::string name, std::vector<IExprPtr> subs) {
+  return {.name = std::move(name), .subs = std::move(subs)};
+}
+/// Scalar lvalue.
+[[nodiscard]] inline LValue lvs(std::string name) {
+  return {.name = std::move(name), .subs = {}};
+}
+
+[[nodiscard]] inline StmtPtr assign(LValue l, VExprPtr r, int label = 0) {
+  return make_assign(std::move(l), std::move(r), label);
+}
+
+/// Build a StmtList from move-only pointers (std::initializer_list cannot
+/// hold unique_ptr, so take a parameter pack instead).
+template <typename... Ts>
+[[nodiscard]] StmtList stmts(Ts... ss) {
+  StmtList l;
+  (l.push_back(std::move(ss)), ...);
+  return l;
+}
+
+template <typename... Ts>
+[[nodiscard]] StmtPtr loop(std::string var, IExprPtr lb, IExprPtr ub,
+                           Ts... body) {
+  return make_loop(std::move(var), std::move(lb), std::move(ub),
+                   stmts(std::move(body)...));
+}
+
+template <typename... Ts>
+[[nodiscard]] StmtPtr loop_step(std::string var, IExprPtr lb, IExprPtr ub,
+                                IExprPtr step, Ts... body) {
+  return make_loop(std::move(var), std::move(lb), std::move(ub),
+                   stmts(std::move(body)...), std::move(step));
+}
+
+[[nodiscard]] inline Cond cmp(VExprPtr l, CmpOp op, VExprPtr r) {
+  return {.lhs = std::move(l), .op = op, .rhs = std::move(r)};
+}
+
+template <typename... Ts>
+[[nodiscard]] StmtPtr when(Cond c, Ts... then_body) {
+  return make_if(std::move(c), stmts(std::move(then_body)...));
+}
+
+}  // namespace blk::ir::dsl

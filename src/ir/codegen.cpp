@@ -1,0 +1,277 @@
+#include "ir/codegen.hpp"
+
+#include <sstream>
+
+#include "ir/error.hpp"
+
+namespace blk::ir {
+
+namespace {
+
+// Scalar variables live as C doubles; using one as an index needs a cast.
+const Program* g_prog = nullptr;
+
+void emit_iexpr(const IExpr& e, std::ostream& os);
+
+void emit_binary(const IExpr& e, std::ostream& os, const char* op) {
+  os << '(';
+  emit_iexpr(*e.lhs, os);
+  os << op;
+  emit_iexpr(*e.rhs, os);
+  os << ')';
+}
+
+void emit_iexpr(const IExpr& e, std::ostream& os) {
+  switch (e.kind) {
+    case IKind::Const:
+      os << e.value << 'L';
+      return;
+    case IKind::Var:
+      if (g_prog && g_prog->has_scalar(e.name))
+        os << "(long)" << e.name;
+      else
+        os << e.name;
+      return;
+    case IKind::Add:
+      emit_binary(e, os, " + ");
+      return;
+    case IKind::Sub:
+      emit_binary(e, os, " - ");
+      return;
+    case IKind::Mul:
+      emit_binary(e, os, " * ");
+      return;
+    case IKind::Min:
+      os << "BLK_MIN(";
+      emit_iexpr(*e.lhs, os);
+      os << ", ";
+      emit_iexpr(*e.rhs, os);
+      os << ')';
+      return;
+    case IKind::Max:
+      os << "BLK_MAX(";
+      emit_iexpr(*e.lhs, os);
+      os << ", ";
+      emit_iexpr(*e.rhs, os);
+      os << ')';
+      return;
+    case IKind::FloorDiv:
+      os << "BLK_FDIV(";
+      emit_iexpr(*e.lhs, os);
+      os << ", ";
+      emit_iexpr(*e.rhs, os);
+      os << ')';
+      return;
+    case IKind::CeilDiv:
+      os << "BLK_CDIV(";
+      emit_iexpr(*e.lhs, os);
+      os << ", ";
+      emit_iexpr(*e.rhs, os);
+      os << ')';
+      return;
+    case IKind::ArrayElem:
+      os << "(long)" << e.name << '(';
+      emit_iexpr(*e.lhs, os);
+      os << ')';
+      return;
+  }
+  throw Error("emit_c: corrupt IExpr");
+}
+
+void emit_vexpr(const VExpr& e, std::ostream& os) {
+  switch (e.kind) {
+    case VKind::Const: {
+      std::ostringstream tmp;
+      tmp.precision(17);
+      tmp << e.cval;
+      std::string s = tmp.str();
+      os << s;
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos)
+        os << ".0";
+      return;
+    }
+    case VKind::ScalarRef:
+      os << e.name;
+      return;
+    case VKind::IndexVal:
+      os << "(double)(";
+      emit_iexpr(*e.index, os);
+      os << ')';
+      return;
+    case VKind::ArrayRef: {
+      os << e.name << '(';
+      for (std::size_t i = 0; i < e.subs.size(); ++i) {
+        if (i) os << ", ";
+        emit_iexpr(*e.subs[i], os);
+      }
+      os << ')';
+      return;
+    }
+    case VKind::Bin: {
+      os << '(';
+      emit_vexpr(*e.lhs, os);
+      switch (e.bop) {
+        case BinOp::Add: os << " + "; break;
+        case BinOp::Sub: os << " - "; break;
+        case BinOp::Mul: os << " * "; break;
+        case BinOp::Div: os << " / "; break;
+      }
+      emit_vexpr(*e.rhs, os);
+      os << ')';
+      return;
+    }
+    case VKind::Un:
+      switch (e.uop) {
+        case UnOp::Neg:
+          os << "(-";
+          emit_vexpr(*e.lhs, os);
+          os << ')';
+          return;
+        case UnOp::Sqrt:
+          os << "sqrt(";
+          emit_vexpr(*e.lhs, os);
+          os << ')';
+          return;
+        case UnOp::Abs:
+          os << "fabs(";
+          emit_vexpr(*e.lhs, os);
+          os << ')';
+          return;
+      }
+  }
+  throw Error("emit_c: corrupt VExpr");
+}
+
+void pad(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+}
+
+void emit_stmts(const StmtList& body, std::ostream& os, int depth) {
+  for (const auto& s : body) {
+    switch (s->kind()) {
+      case SKind::Assign: {
+        const Assign& a = s->as_assign();
+        pad(os, depth);
+        if (a.lhs.is_array()) {
+          os << a.lhs.name << '(';
+          for (std::size_t i = 0; i < a.lhs.subs.size(); ++i) {
+            if (i) os << ", ";
+            emit_iexpr(*a.lhs.subs[i], os);
+          }
+          os << ')';
+        } else {
+          os << a.lhs.name;
+        }
+        os << " = ";
+        emit_vexpr(*a.rhs, os);
+        os << ";\n";
+        break;
+      }
+      case SKind::Loop: {
+        const Loop& l = s->as_loop();
+        pad(os, depth);
+        os << "for (long " << l.var << " = ";
+        emit_iexpr(*l.lb, os);
+        os << ", " << l.var << "_ub = ";
+        emit_iexpr(*l.ub, os);
+        os << ", " << l.var << "_st = ";
+        emit_iexpr(*l.step, os);
+        os << "; " << l.var << "_st > 0 ? " << l.var << " <= " << l.var
+           << "_ub : " << l.var << " >= " << l.var << "_ub; " << l.var
+           << " += " << l.var << "_st) {\n";
+        emit_stmts(l.body, os, depth + 1);
+        pad(os, depth);
+        os << "}\n";
+        break;
+      }
+      case SKind::If: {
+        const If& f = s->as_if();
+        pad(os, depth);
+        static constexpr const char* kOps[] = {"==", "!=", "<",
+                                               "<=", ">",  ">="};
+        os << "if (";
+        emit_vexpr(*f.cond.lhs, os);
+        os << ' ' << kOps[static_cast<int>(f.cond.op)] << ' ';
+        emit_vexpr(*f.cond.rhs, os);
+        os << ") {\n";
+        emit_stmts(f.then_body, os, depth + 1);
+        if (!f.else_body.empty()) {
+          pad(os, depth);
+          os << "} else {\n";
+          emit_stmts(f.else_body, os, depth + 1);
+        }
+        pad(os, depth);
+        os << "}\n";
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string emit_c(const Program& p, const std::string& fn_name) {
+  g_prog = &p;
+  std::ostringstream os;
+  os << "/* generated by blockability emit_c */\n"
+     << "#include <math.h>\n"
+     << "#define BLK_MIN(a, b) ((a) < (b) ? (a) : (b))\n"
+     << "#define BLK_MAX(a, b) ((a) > (b) ? (a) : (b))\n"
+     << "/* floor/ceil division toward -inf/+inf for positive divisors */\n"
+     << "#define BLK_FDIV(a, b) ((a) >= 0 ? (a) / (b) "
+        ": -((-(a) + (b) - 1) / (b)))\n"
+     << "#define BLK_CDIV(a, b) ((a) >= 0 ? ((a) + (b) - 1) / (b) "
+        ": -((-(a)) / (b)))\n\n";
+
+  // Column-major element macros with the declared lower bounds folded in.
+  for (const auto& [name, decl] : p.arrays()) {
+    os << "#define " << name << '(';
+    for (std::size_t d = 0; d < decl.rank(); ++d) {
+      if (d) os << ", ";
+      os << 'i' << d;
+    }
+    os << ") " << name << "_buf[";
+    std::string stride;
+    for (std::size_t d = 0; d < decl.rank(); ++d) {
+      if (d) os << " + ";
+      os << '(';
+      os << "(i" << d << ") - (";
+      emit_iexpr(*decl.dims[d].lb, os);
+      os << ')';
+      os << ')';
+      if (!stride.empty()) os << " * " << stride;
+      // Extend the running stride by this dimension's extent.
+      std::ostringstream ext;
+      ext << "((";
+      emit_iexpr(*decl.dims[d].ub, ext);
+      ext << ") - (";
+      emit_iexpr(*decl.dims[d].lb, ext);
+      ext << ") + 1)";
+      stride = stride.empty() ? ext.str() : stride + " * " + ext.str();
+    }
+    os << "]\n";
+  }
+  os << '\n';
+
+  os << "void " << fn_name << '(';
+  bool first = true;
+  for (const auto& prm : p.params()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "long " << prm;
+  }
+  for (const auto& [name, decl] : p.arrays()) {
+    if (!first) os << ", ";
+    first = false;
+    os << "double* " << name << "_buf";
+  }
+  os << ") {\n";
+  for (const auto& sc : p.scalars()) os << "  double " << sc << " = 0.0;\n";
+  emit_stmts(p.body, os, 1);
+  os << "}\n";
+  g_prog = nullptr;
+  return os.str();
+}
+
+}  // namespace blk::ir

@@ -1,0 +1,29 @@
+// C code generation from the IR.
+//
+// The paper's closing argument is that a machine-independent source plus
+// compiler technology "could be used to port the library from machine to
+// machine".  This backend closes that loop for the reproduction: any IR
+// program — point or transformed — can be emitted as a portable C
+// function and compiled by the host toolchain.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace blk::ir {
+
+/// Emit `p` as a standalone C99 translation unit defining
+///
+///   void <fn_name>(<long params...>, <double* arrays...>);
+///
+/// Parameters appear in declaration order, arrays in name order (each
+/// passed as a flat column-major buffer whose extent matches the declared
+/// dimensions).  Scalars become local doubles; integer-valued scalars used
+/// as subscripts are truncated with (long) casts, matching the
+/// interpreter's semantics.  The unit is self-contained (includes math.h
+/// and defines MIN/MAX/floor-division helpers).
+[[nodiscard]] std::string emit_c(const Program& p,
+                                 const std::string& fn_name);
+
+}  // namespace blk::ir

@@ -1,0 +1,18 @@
+// Error type shared by every blockability library component.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace blk {
+
+/// Exception thrown on contract violations anywhere in the library:
+/// malformed IR, illegal transformation requests, unbound symbols during
+/// interpretation, parse errors, and so on.  Carries a plain message; the
+/// throwing site prefixes it with its component name (e.g. "interchange: ...").
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace blk

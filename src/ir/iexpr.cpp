@@ -1,0 +1,392 @@
+#include "ir/iexpr.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "ir/affine.hpp"
+#include "ir/error.hpp"
+
+namespace blk::ir {
+
+namespace {
+
+[[nodiscard]] bool is_const(const IExprPtr& e, long v) {
+  return e->kind == IKind::Const && e->value == v;
+}
+
+[[nodiscard]] long floordiv(long a, long b) {
+  long q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+[[nodiscard]] long ceildiv(long a, long b) { return -floordiv(-a, b); }
+
+}  // namespace
+
+IExprPtr iconst(long v) { return std::make_shared<IExpr>(IKind::Const, v); }
+
+IExprPtr ivar(std::string name) {
+  if (name.empty()) throw Error("ivar: empty variable name");
+  return std::make_shared<IExpr>(IKind::Var, std::move(name));
+}
+
+IExprPtr iadd(IExprPtr a, IExprPtr b) {
+  if (a->kind == IKind::Const && b->kind == IKind::Const)
+    return iconst(a->value + b->value);
+  if (is_const(a, 0)) return b;
+  if (is_const(b, 0)) return a;
+  return std::make_shared<IExpr>(IKind::Add, std::move(a), std::move(b));
+}
+
+IExprPtr isub(IExprPtr a, IExprPtr b) {
+  if (a->kind == IKind::Const && b->kind == IKind::Const)
+    return iconst(a->value - b->value);
+  if (is_const(b, 0)) return a;
+  return std::make_shared<IExpr>(IKind::Sub, std::move(a), std::move(b));
+}
+
+IExprPtr imul(IExprPtr a, IExprPtr b) {
+  if (a->kind == IKind::Const && b->kind == IKind::Const)
+    return iconst(a->value * b->value);
+  if (is_const(a, 1)) return b;
+  if (is_const(b, 1)) return a;
+  if (is_const(a, 0) || is_const(b, 0)) return iconst(0);
+  return std::make_shared<IExpr>(IKind::Mul, std::move(a), std::move(b));
+}
+
+IExprPtr imin(IExprPtr a, IExprPtr b) {
+  if (a->kind == IKind::Const && b->kind == IKind::Const)
+    return iconst(std::min(a->value, b->value));
+  // MIN(x, x) and affine-comparable operands resolve in simplify(); here we
+  // only fold the trivial identical-pointer case.
+  if (a == b) return a;
+  return std::make_shared<IExpr>(IKind::Min, std::move(a), std::move(b));
+}
+
+IExprPtr imax(IExprPtr a, IExprPtr b) {
+  if (a->kind == IKind::Const && b->kind == IKind::Const)
+    return iconst(std::max(a->value, b->value));
+  if (a == b) return a;
+  return std::make_shared<IExpr>(IKind::Max, std::move(a), std::move(b));
+}
+
+IExprPtr ifloordiv(IExprPtr a, long b) {
+  if (b <= 0) throw Error("ifloordiv: divisor must be positive");
+  if (b == 1) return a;
+  if (a->kind == IKind::Const) return iconst(floordiv(a->value, b));
+  return std::make_shared<IExpr>(IKind::FloorDiv, std::move(a), iconst(b));
+}
+
+IExprPtr iceildiv(IExprPtr a, long b) {
+  if (b <= 0) throw Error("iceildiv: divisor must be positive");
+  if (b == 1) return a;
+  if (a->kind == IKind::Const) return iconst(ceildiv(a->value, b));
+  return std::make_shared<IExpr>(IKind::CeilDiv, std::move(a), iconst(b));
+}
+
+IExprPtr ielem(std::string array, IExprPtr index) {
+  if (array.empty()) throw Error("ielem: empty array name");
+  auto e = std::make_shared<IExpr>(IKind::ArrayElem, std::move(index),
+                                   nullptr);
+  e->name = std::move(array);
+  return e;
+}
+
+long evaluate(const IExpr& e, const Env& env) {
+  switch (e.kind) {
+    case IKind::Const:
+      return e.value;
+    case IKind::Var: {
+      auto it = env.find(e.name);
+      if (it == env.end()) throw Error("evaluate: unbound variable " + e.name);
+      return it->second;
+    }
+    case IKind::Add:
+      return evaluate(*e.lhs, env) + evaluate(*e.rhs, env);
+    case IKind::Sub:
+      return evaluate(*e.lhs, env) - evaluate(*e.rhs, env);
+    case IKind::Mul:
+      return evaluate(*e.lhs, env) * evaluate(*e.rhs, env);
+    case IKind::Min:
+      return std::min(evaluate(*e.lhs, env), evaluate(*e.rhs, env));
+    case IKind::Max:
+      return std::max(evaluate(*e.lhs, env), evaluate(*e.rhs, env));
+    case IKind::FloorDiv: {
+      long d = evaluate(*e.rhs, env);
+      if (d <= 0) throw Error("evaluate: FloorDiv by non-positive value");
+      return floordiv(evaluate(*e.lhs, env), d);
+    }
+    case IKind::CeilDiv: {
+      long d = evaluate(*e.rhs, env);
+      if (d <= 0) throw Error("evaluate: CeilDiv by non-positive value");
+      return ceildiv(evaluate(*e.lhs, env), d);
+    }
+    case IKind::ArrayElem:
+      throw Error("evaluate: array-element index " + e.name +
+                  "(...) requires the interpreter (runtime store)");
+  }
+  throw Error("evaluate: corrupt IExpr kind");
+}
+
+IExprPtr substitute(const IExprPtr& e, const std::string& name,
+                    const IExprPtr& replacement) {
+  switch (e->kind) {
+    case IKind::Const:
+      return e;
+    case IKind::Var:
+      return e->name == name ? replacement : e;
+    case IKind::ArrayElem: {
+      IExprPtr ix = substitute(e->lhs, name, replacement);
+      if (ix == e->lhs) return e;
+      return ielem(e->name, std::move(ix));
+    }
+    default: {
+      IExprPtr l = substitute(e->lhs, name, replacement);
+      IExprPtr r = substitute(e->rhs, name, replacement);
+      if (l == e->lhs && r == e->rhs) return e;
+      switch (e->kind) {
+        case IKind::Add:
+          return iadd(std::move(l), std::move(r));
+        case IKind::Sub:
+          return isub(std::move(l), std::move(r));
+        case IKind::Mul:
+          return imul(std::move(l), std::move(r));
+        case IKind::Min:
+          return imin(std::move(l), std::move(r));
+        case IKind::Max:
+          return imax(std::move(l), std::move(r));
+        case IKind::FloorDiv:
+          if (r->kind != IKind::Const)
+            throw Error("substitute: FloorDiv divisor became symbolic");
+          return ifloordiv(std::move(l), r->value);
+        case IKind::CeilDiv:
+          if (r->kind != IKind::Const)
+            throw Error("substitute: CeilDiv divisor became symbolic");
+          return iceildiv(std::move(l), r->value);
+        default:
+          throw Error("substitute: corrupt IExpr kind");
+      }
+    }
+  }
+}
+
+IExprPtr simplify(const IExprPtr& e) {
+  // Affine subtrees canonicalize wholesale.
+  if (auto a = as_affine(*e)) return from_affine(*a);
+  switch (e->kind) {
+    case IKind::Const:
+    case IKind::Var:
+      return e;
+    case IKind::ArrayElem:
+      return ielem(e->name, simplify(e->lhs));
+    case IKind::Min:
+    case IKind::Max: {
+      // Flatten same-kind chains, then prune operands dominated by another
+      // (their affine difference has a provable constant sign).
+      const IKind kind = e->kind;
+      std::vector<IExprPtr> ops;
+      std::function<void(const IExprPtr&)> flatten =
+          [&](const IExprPtr& node) {
+            if (node->kind == kind) {
+              flatten(node->lhs);
+              flatten(node->rhs);
+            } else {
+              ops.push_back(simplify(node));
+            }
+          };
+      flatten(e->lhs);
+      flatten(e->rhs);
+      std::vector<bool> dead(ops.size(), false);
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (dead[i]) continue;
+        for (std::size_t j = 0; j < ops.size(); ++j) {
+          if (i == j || dead[j]) continue;
+          auto d = affine_difference(ops[j], ops[i]);
+          if (!d) continue;
+          auto s = constant_sign(*d);
+          if (!s) continue;
+          // ops[j] - ops[i] >= 0: in a MIN, ops[j] is redundant; in a MAX,
+          // ops[i] is.  Ties (== 0) drop the later operand.
+          bool drop_j = (kind == IKind::Min) ? (*s >= 0) : (*s <= 0);
+          if (*s == 0 && j < i) drop_j = false;
+          if (drop_j)
+            dead[j] = true;
+          else
+            dead[i] = true;
+          if (dead[i]) break;
+        }
+      }
+      IExprPtr acc;
+      for (std::size_t i = 0; i < ops.size(); ++i) {
+        if (dead[i]) continue;
+        if (!acc)
+          acc = ops[i];
+        else
+          acc = kind == IKind::Min ? imin(std::move(acc), ops[i])
+                                   : imax(std::move(acc), ops[i]);
+      }
+      return acc;
+    }
+    case IKind::FloorDiv:
+      return ifloordiv(simplify(e->lhs), e->rhs->value);
+    case IKind::CeilDiv:
+      return iceildiv(simplify(e->lhs), e->rhs->value);
+    default: {
+      // Non-affine Add/Sub/Mul (e.g. MIN below a sum): simplify children.
+      IExprPtr l = simplify(e->lhs);
+      IExprPtr r = simplify(e->rhs);
+      switch (e->kind) {
+        case IKind::Add:
+          return iadd(std::move(l), std::move(r));
+        case IKind::Sub:
+          return isub(std::move(l), std::move(r));
+        case IKind::Mul:
+          return imul(std::move(l), std::move(r));
+        default:
+          throw Error("simplify: corrupt IExpr kind");
+      }
+    }
+  }
+}
+
+namespace {
+
+[[nodiscard]] bool structurally_equal(const IExpr& a, const IExpr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case IKind::Const:
+      return a.value == b.value;
+    case IKind::Var:
+      return a.name == b.name;
+    case IKind::ArrayElem:
+      return a.name == b.name && structurally_equal(*a.lhs, *b.lhs);
+    default:
+      return structurally_equal(*a.lhs, *b.lhs) &&
+             structurally_equal(*a.rhs, *b.rhs);
+  }
+}
+
+}  // namespace
+
+bool provably_equal(const IExprPtr& a, const IExprPtr& b) {
+  if (auto d = affine_difference(a, b)) {
+    auto s = constant_sign(*d);
+    return s.has_value() && *s == 0;
+  }
+  return structurally_equal(*simplify(a), *simplify(b));
+}
+
+void free_vars(const IExpr& e, std::vector<std::string>& out) {
+  switch (e.kind) {
+    case IKind::Const:
+      return;
+    case IKind::Var:
+      if (std::find(out.begin(), out.end(), e.name) == out.end())
+        out.push_back(e.name);
+      return;
+    case IKind::ArrayElem:
+      free_vars(*e.lhs, out);
+      return;
+    default:
+      free_vars(*e.lhs, out);
+      free_vars(*e.rhs, out);
+  }
+}
+
+std::vector<std::string> free_vars(const IExprPtr& e) {
+  std::vector<std::string> out;
+  free_vars(*e, out);
+  return out;
+}
+
+bool mentions(const IExpr& e, const std::string& name) {
+  switch (e.kind) {
+    case IKind::Const:
+      return false;
+    case IKind::Var:
+      return e.name == name;
+    case IKind::ArrayElem:
+      return mentions(*e.lhs, name);
+    default:
+      return mentions(*e.lhs, name) || mentions(*e.rhs, name);
+  }
+}
+
+namespace {
+
+// Precedence: additive 1, multiplicative 2, atoms 3.
+void print(const IExpr& e, std::ostream& os, int parent_prec) {
+  switch (e.kind) {
+    case IKind::Const:
+      os << e.value;
+      return;
+    case IKind::Var:
+      os << e.name;
+      return;
+    case IKind::Add:
+    case IKind::Sub: {
+      bool paren = parent_prec > 1;
+      if (paren) os << '(';
+      print(*e.lhs, os, 1);
+      os << (e.kind == IKind::Add ? '+' : '-');
+      // Right side of '-' binds tighter to avoid a-b+c ambiguity.
+      print(*e.rhs, os, e.kind == IKind::Sub ? 2 : 1);
+      if (paren) os << ')';
+      return;
+    }
+    case IKind::Mul: {
+      bool paren = parent_prec > 2;
+      if (paren) os << '(';
+      print(*e.lhs, os, 2);
+      os << '*';
+      print(*e.rhs, os, 2);
+      if (paren) os << ')';
+      return;
+    }
+    case IKind::Min:
+    case IKind::Max: {
+      // Flatten nested same-kind chains into one variadic call:
+      // MIN(MIN(a,b),c) prints as MIN(a,b,c).
+      os << (e.kind == IKind::Min ? "MIN(" : "MAX(");
+      bool first = true;
+      std::function<void(const IExpr&)> emit = [&](const IExpr& node) {
+        if (node.kind == e.kind) {
+          emit(*node.lhs);
+          emit(*node.rhs);
+          return;
+        }
+        if (!first) os << ',';
+        first = false;
+        print(node, os, 0);
+      };
+      emit(e);
+      os << ')';
+      return;
+    }
+    case IKind::FloorDiv:
+    case IKind::CeilDiv:
+      os << (e.kind == IKind::FloorDiv ? "FLOOR(" : "CEIL(");
+      print(*e.lhs, os, 0);
+      os << '/';
+      print(*e.rhs, os, 0);
+      os << ')';
+      return;
+    case IKind::ArrayElem:
+      os << e.name << '(';
+      print(*e.lhs, os, 0);
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string to_string(const IExpr& e) {
+  std::ostringstream os;
+  print(e, os, 0);
+  return os.str();
+}
+
+}  // namespace blk::ir

@@ -1,0 +1,117 @@
+// Symbolic integer index expressions.
+//
+// Index expressions appear in loop bounds and array subscripts.  They are
+// immutable trees shared through `IExprPtr`; all mutation-like operations
+// (substitution, simplification) build new trees.  The grammar is the one the
+// paper needs: affine terms over loop variables and symbolic parameters,
+// closed under MIN, MAX and (floor/ceiling) division by constants — exactly
+// the forms produced by strip mining, triangular interchange and index-set
+// splitting.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace blk::ir {
+
+enum class IKind : std::uint8_t {
+  Const,     ///< integer literal
+  Var,       ///< loop variable or symbolic parameter (e.g. I, N, KS)
+  Add,       ///< lhs + rhs
+  Sub,       ///< lhs - rhs
+  Mul,       ///< lhs * rhs (affine only when one side is constant)
+  Min,       ///< MIN(lhs, rhs)
+  Max,       ///< MAX(lhs, rhs)
+  FloorDiv,  ///< floor(lhs / rhs), rhs a positive constant
+  CeilDiv,   ///< ceil(lhs / rhs), rhs a positive constant
+  ArrayElem, ///< name(lhs): integer-valued array element used as an index
+             ///< (IF-inspection's KLB(KN)/KUB(KN) bounds); opaque to all
+             ///< symbolic analyses, evaluated only by the interpreter
+};
+
+class IExpr;
+using IExprPtr = std::shared_ptr<const IExpr>;
+
+/// One node of an index-expression tree.  Construct through the factory
+/// functions below, which fold constants eagerly.
+class IExpr {
+ public:
+  IKind kind;
+  long value = 0;     ///< IKind::Const payload
+  std::string name;   ///< IKind::Var payload
+  IExprPtr lhs, rhs;  ///< binary payloads
+
+  IExpr(IKind k, long v) : kind(k), value(v) {}
+  IExpr(IKind k, std::string n) : kind(k), name(std::move(n)) {}
+  IExpr(IKind k, IExprPtr l, IExprPtr r)
+      : kind(k), lhs(std::move(l)), rhs(std::move(r)) {}
+};
+
+// ---- Factories -------------------------------------------------------------
+
+[[nodiscard]] IExprPtr iconst(long v);
+[[nodiscard]] IExprPtr ivar(std::string name);
+[[nodiscard]] IExprPtr iadd(IExprPtr a, IExprPtr b);
+[[nodiscard]] IExprPtr isub(IExprPtr a, IExprPtr b);
+[[nodiscard]] IExprPtr imul(IExprPtr a, IExprPtr b);
+[[nodiscard]] IExprPtr imin(IExprPtr a, IExprPtr b);
+[[nodiscard]] IExprPtr imax(IExprPtr a, IExprPtr b);
+[[nodiscard]] IExprPtr ifloordiv(IExprPtr a, long b);
+[[nodiscard]] IExprPtr iceildiv(IExprPtr a, long b);
+[[nodiscard]] IExprPtr ielem(std::string array, IExprPtr index);
+
+// Convenience mixed-operand overloads.
+[[nodiscard]] inline IExprPtr iadd(IExprPtr a, long b) {
+  return iadd(std::move(a), iconst(b));
+}
+[[nodiscard]] inline IExprPtr isub(IExprPtr a, long b) {
+  return isub(std::move(a), iconst(b));
+}
+[[nodiscard]] inline IExprPtr imul(long a, IExprPtr b) {
+  return imul(iconst(a), std::move(b));
+}
+
+// ---- Queries and algebra ---------------------------------------------------
+
+/// Environment binding variable names to concrete values.
+using Env = std::map<std::string, long>;
+
+/// Evaluate under `env`; throws blk::Error on an unbound variable or a
+/// division by a non-positive divisor.
+[[nodiscard]] long evaluate(const IExpr& e, const Env& env);
+[[nodiscard]] inline long evaluate(const IExprPtr& e, const Env& env) {
+  return evaluate(*e, env);
+}
+
+/// Replace every occurrence of variable `name` by `replacement`.
+[[nodiscard]] IExprPtr substitute(const IExprPtr& e, const std::string& name,
+                                  const IExprPtr& replacement);
+
+/// Simplify: constant-fold, canonicalize affine subtrees, and resolve
+/// MIN/MAX whose operands differ by a known constant.
+[[nodiscard]] IExprPtr simplify(const IExprPtr& e);
+
+/// True when the two expressions are provably equal for every assignment of
+/// the free variables (affine difference identically zero, or structurally
+/// identical after simplification).  A `false` answer means "not provably
+/// equal", not "provably different".
+[[nodiscard]] bool provably_equal(const IExprPtr& a, const IExprPtr& b);
+
+/// Collect the free variable names of `e` into `out` (preserving first-seen
+/// order, no duplicates).
+void free_vars(const IExpr& e, std::vector<std::string>& out);
+[[nodiscard]] std::vector<std::string> free_vars(const IExprPtr& e);
+
+/// True when variable `name` occurs in `e`.
+[[nodiscard]] bool mentions(const IExpr& e, const std::string& name);
+
+/// Render in Fortran-like syntax, e.g. "MIN(K+KS-1,N-1)".
+[[nodiscard]] std::string to_string(const IExpr& e);
+[[nodiscard]] inline std::string to_string(const IExprPtr& e) {
+  return to_string(*e);
+}
+
+}  // namespace blk::ir

@@ -1,0 +1,97 @@
+#include "ir/printer.hpp"
+
+#include <sstream>
+
+namespace blk::ir {
+
+namespace {
+
+void print_list(const StmtList& body, std::ostream& os, int indent);
+
+void pad(std::ostream& os, int indent) {
+  for (int i = 0; i < indent; ++i) os << "  ";
+}
+
+void print_stmt(const Stmt& s, std::ostream& os, int indent) {
+  switch (s.kind()) {
+    case SKind::Assign: {
+      const Assign& a = s.as_assign();
+      pad(os, indent);
+      if (a.label != 0) os << a.label << ": ";
+      os << a.lhs.name;
+      if (a.lhs.is_array()) {
+        os << '(';
+        for (std::size_t i = 0; i < a.lhs.subs.size(); ++i) {
+          if (i) os << ',';
+          os << to_string(a.lhs.subs[i]);
+        }
+        os << ')';
+      }
+      os << " = " << to_string(*a.rhs) << '\n';
+      return;
+    }
+    case SKind::Loop: {
+      const Loop& l = s.as_loop();
+      pad(os, indent);
+      os << "DO " << l.var << " = " << to_string(l.lb) << ", "
+         << to_string(l.ub);
+      if (!(l.step->kind == IKind::Const && l.step->value == 1))
+        os << ", " << to_string(l.step);
+      os << '\n';
+      print_list(l.body, os, indent + 1);
+      pad(os, indent);
+      os << "ENDDO\n";
+      return;
+    }
+    case SKind::If: {
+      const If& f = s.as_if();
+      pad(os, indent);
+      os << "IF (" << to_string(f.cond) << ") THEN\n";
+      print_list(f.then_body, os, indent + 1);
+      if (!f.else_body.empty()) {
+        pad(os, indent);
+        os << "ELSE\n";
+        print_list(f.else_body, os, indent + 1);
+      }
+      pad(os, indent);
+      os << "ENDIF\n";
+      return;
+    }
+  }
+}
+
+void print_list(const StmtList& body, std::ostream& os, int indent) {
+  for (const auto& s : body) print_stmt(*s, os, indent);
+}
+
+}  // namespace
+
+std::string print(const StmtList& body, int indent) {
+  std::ostringstream os;
+  print_list(body, os, indent);
+  return os.str();
+}
+
+std::string print(const Program& p) {
+  std::ostringstream os;
+  for (const auto& name : p.params()) os << "PARAMETER " << name << '\n';
+  for (const auto& [name, decl] : p.arrays()) {
+    os << "REAL*8 " << name << '(';
+    for (std::size_t i = 0; i < decl.dims.size(); ++i) {
+      if (i) os << ',';
+      const Dim& d = decl.dims[i];
+      if (d.lb->kind == IKind::Const && d.lb->value == 1)
+        os << to_string(d.ub);
+      else
+        os << to_string(d.lb) << ':' << to_string(d.ub);
+    }
+    os << ")\n";
+  }
+  for (const auto& name : p.scalars()) os << "REAL*8 " << name << '\n';
+  if (!p.params().empty() || !p.arrays().empty() || !p.scalars().empty())
+    os << '\n';
+  os << print(p.body, 0);
+  return os.str();
+}
+
+}  // namespace blk::ir

@@ -1,0 +1,19 @@
+// Fortran-style pretty printer.  The output format is stable and is used by
+// golden tests that compare automatically derived loop nests against the
+// paper's figures.
+#pragma once
+
+#include <string>
+
+#include "ir/program.hpp"
+
+namespace blk::ir {
+
+/// Render a statement list with 2-space indentation per nesting level.
+/// Assign labels print as a leading "nn: " tag.
+[[nodiscard]] std::string print(const StmtList& body, int indent = 0);
+
+/// Render the whole program: declarations header then body.
+[[nodiscard]] std::string print(const Program& p);
+
+}  // namespace blk::ir

@@ -1,0 +1,171 @@
+#include "ir/validate.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/error.hpp"
+
+namespace blk::ir {
+
+namespace {
+
+struct Checker {
+  const Program& p;
+  std::vector<std::string> problems;
+  std::vector<std::string> loop_vars;
+
+  [[nodiscard]] bool known_index_name(const std::string& n) const {
+    if (std::find(loop_vars.begin(), loop_vars.end(), n) != loop_vars.end())
+      return true;
+    return p.has_param(n) || p.has_scalar(n);
+  }
+
+  void complain(std::string what) { problems.push_back(std::move(what)); }
+
+  void check_iexpr(const IExpr& e, const std::string& where) {
+    switch (e.kind) {
+      case IKind::Const:
+        return;
+      case IKind::Var:
+        if (!known_index_name(e.name))
+          complain("unknown index name " + e.name + " in " + where);
+        return;
+      case IKind::ArrayElem:
+        if (!p.has_array(e.name))
+          complain("ArrayElem names undeclared array " + e.name + " in " +
+                   where);
+        else if (p.array_decl(e.name).rank() != 1)
+          complain("ArrayElem " + e.name + " must be rank 1 in " + where);
+        check_iexpr(*e.lhs, where);
+        return;
+      default:
+        if (!e.lhs) {
+          complain("null child in index expression in " + where);
+          return;
+        }
+        check_iexpr(*e.lhs, where);
+        if (e.rhs) check_iexpr(*e.rhs, where);
+        return;
+    }
+  }
+
+  void check_ref(const std::string& name,
+                 const std::vector<IExprPtr>& subs,
+                 const std::string& where) {
+    if (!p.has_array(name)) {
+      complain("reference to undeclared array " + name + " in " + where);
+      return;
+    }
+    if (p.array_decl(name).rank() != subs.size())
+      complain("rank mismatch on " + name + " in " + where + ": declared " +
+               std::to_string(p.array_decl(name).rank()) + ", used with " +
+               std::to_string(subs.size()));
+    for (const auto& s : subs) {
+      if (!s) {
+        complain("null subscript on " + name + " in " + where);
+        continue;
+      }
+      check_iexpr(*s, where);
+    }
+  }
+
+  void check_vexpr(const VExpr& e, const std::string& where) {
+    switch (e.kind) {
+      case VKind::Const:
+        return;
+      case VKind::ScalarRef:
+        if (!p.has_scalar(e.name))
+          complain("read of undeclared scalar " + e.name + " in " + where);
+        return;
+      case VKind::IndexVal:
+        check_iexpr(*e.index, where);
+        return;
+      case VKind::ArrayRef:
+        check_ref(e.name, e.subs, where);
+        return;
+      case VKind::Bin:
+        if (!e.lhs || !e.rhs) {
+          complain("null operand in " + where);
+          return;
+        }
+        check_vexpr(*e.lhs, where);
+        check_vexpr(*e.rhs, where);
+        return;
+      case VKind::Un:
+        if (!e.lhs) {
+          complain("null operand in " + where);
+          return;
+        }
+        check_vexpr(*e.lhs, where);
+        return;
+    }
+  }
+
+  void walk(const StmtList& body) {
+    for (const auto& s : body) {
+      if (!s) {
+        complain("null statement in body");
+        continue;
+      }
+      switch (s->kind()) {
+        case SKind::Assign: {
+          const Assign& a = s->as_assign();
+          std::string where = "assignment to " + a.lhs.name;
+          if (a.lhs.is_array())
+            check_ref(a.lhs.name, a.lhs.subs, where);
+          else if (!p.has_scalar(a.lhs.name))
+            complain("write to undeclared scalar " + a.lhs.name);
+          if (!a.rhs)
+            complain("null RHS in " + where);
+          else
+            check_vexpr(*a.rhs, where);
+          break;
+        }
+        case SKind::Loop: {
+          const Loop& l = s->as_loop();
+          std::string where = "bounds of loop " + l.var;
+          if (std::find(loop_vars.begin(), loop_vars.end(), l.var) !=
+              loop_vars.end())
+            complain("loop " + l.var + " shadows an enclosing loop");
+          if (p.has_scalar(l.var) || p.has_array(l.var))
+            complain("loop variable " + l.var +
+                     " collides with a declaration");
+          check_iexpr(*l.lb, where);
+          check_iexpr(*l.ub, where);
+          check_iexpr(*l.step, where);
+          loop_vars.push_back(l.var);
+          walk(l.body);
+          loop_vars.pop_back();
+          break;
+        }
+        case SKind::If: {
+          const If& f = s->as_if();
+          check_vexpr(*f.cond.lhs, "IF condition");
+          check_vexpr(*f.cond.rhs, "IF condition");
+          walk(f.then_body);
+          walk(f.else_body);
+          break;
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::string> validate(const Program& p) {
+  Checker c{.p = p, .problems = {}, .loop_vars = {}};
+  c.walk(p.body);
+  return std::move(c.problems);
+}
+
+void validate_or_throw(const Program& p) {
+  auto problems = validate(p);
+  if (problems.empty()) return;
+  std::string msg = "validate: " + std::to_string(problems.size()) +
+                    " problem(s):";
+  for (const auto& q : problems) msg += "\n  " + q;
+  throw Error(msg);
+}
+
+}  // namespace blk::ir

@@ -1,0 +1,31 @@
+// Structural validation of IR programs.
+//
+// Transformations edit the tree in place; this checker enforces the
+// invariants they must maintain, so tests can assert well-formedness after
+// every mutation instead of discovering corruption later as a confusing
+// interpreter error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/program.hpp"
+
+namespace blk::ir {
+
+/// Violations found by validate(); empty means well-formed.
+///
+/// Checked invariants:
+///  * every array reference names a declared array with matching rank;
+///  * every scalar read/write names a declared scalar — or, in index
+///    position, a declared parameter / enclosing loop variable;
+///  * no loop shadows an enclosing loop's variable;
+///  * loop bounds and steps only reference parameters, enclosing loop
+///    variables, declared scalars and declared arrays (ArrayElem);
+///  * every statement tree node is non-null.
+[[nodiscard]] std::vector<std::string> validate(const Program& p);
+
+/// Throws blk::Error listing every violation; no-op when well-formed.
+void validate_or_throw(const Program& p);
+
+}  // namespace blk::ir

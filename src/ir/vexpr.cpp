@@ -1,0 +1,229 @@
+#include "ir/vexpr.hpp"
+
+#include <sstream>
+
+#include "ir/error.hpp"
+
+namespace blk::ir {
+
+VExprPtr vconst(double v) {
+  auto e = std::make_shared<VExpr>(VKind::Const);
+  e->cval = v;
+  return e;
+}
+
+VExprPtr vref(std::string array, std::vector<IExprPtr> subs) {
+  if (array.empty()) throw Error("vref: empty array name");
+  auto e = std::make_shared<VExpr>(VKind::ArrayRef);
+  e->name = std::move(array);
+  e->subs = std::move(subs);
+  return e;
+}
+
+VExprPtr vscalar(std::string name) {
+  if (name.empty()) throw Error("vscalar: empty scalar name");
+  auto e = std::make_shared<VExpr>(VKind::ScalarRef);
+  e->name = std::move(name);
+  return e;
+}
+
+VExprPtr vindex(IExprPtr ix) {
+  auto e = std::make_shared<VExpr>(VKind::IndexVal);
+  e->index = std::move(ix);
+  return e;
+}
+
+VExprPtr vbin(BinOp op, VExprPtr a, VExprPtr b) {
+  auto e = std::make_shared<VExpr>(VKind::Bin);
+  e->bop = op;
+  e->lhs = std::move(a);
+  e->rhs = std::move(b);
+  return e;
+}
+
+VExprPtr vun(UnOp op, VExprPtr a) {
+  auto e = std::make_shared<VExpr>(VKind::Un);
+  e->uop = op;
+  e->lhs = std::move(a);
+  return e;
+}
+
+VExprPtr substitute_index(const VExprPtr& e, const std::string& name,
+                          const IExprPtr& replacement) {
+  switch (e->kind) {
+    case VKind::Const:
+    case VKind::ScalarRef:
+      return e;
+    case VKind::IndexVal: {
+      IExprPtr nx = substitute(e->index, name, replacement);
+      if (nx == e->index) return e;
+      return vindex(std::move(nx));
+    }
+    case VKind::ArrayRef: {
+      bool changed = false;
+      std::vector<IExprPtr> subs;
+      subs.reserve(e->subs.size());
+      for (const auto& s : e->subs) {
+        IExprPtr ns = substitute(s, name, replacement);
+        changed |= (ns != s);
+        subs.push_back(std::move(ns));
+      }
+      if (!changed) return e;
+      return vref(e->name, std::move(subs));
+    }
+    case VKind::Bin: {
+      VExprPtr l = substitute_index(e->lhs, name, replacement);
+      VExprPtr r = substitute_index(e->rhs, name, replacement);
+      if (l == e->lhs && r == e->rhs) return e;
+      return vbin(e->bop, std::move(l), std::move(r));
+    }
+    case VKind::Un: {
+      VExprPtr l = substitute_index(e->lhs, name, replacement);
+      if (l == e->lhs) return e;
+      return vun(e->uop, std::move(l));
+    }
+  }
+  throw Error("substitute_index: corrupt VExpr kind");
+}
+
+VExprPtr substitute_scalar(const VExprPtr& e, const std::string& name,
+                           const VExprPtr& replacement) {
+  switch (e->kind) {
+    case VKind::Const:
+    case VKind::IndexVal:
+    case VKind::ArrayRef:
+      return e;
+    case VKind::ScalarRef:
+      return e->name == name ? replacement : e;
+    case VKind::Bin: {
+      VExprPtr l = substitute_scalar(e->lhs, name, replacement);
+      VExprPtr r = substitute_scalar(e->rhs, name, replacement);
+      if (l == e->lhs && r == e->rhs) return e;
+      return vbin(e->bop, std::move(l), std::move(r));
+    }
+    case VKind::Un: {
+      VExprPtr l = substitute_scalar(e->lhs, name, replacement);
+      if (l == e->lhs) return e;
+      return vun(e->uop, std::move(l));
+    }
+  }
+  throw Error("substitute_scalar: corrupt VExpr kind");
+}
+
+bool mentions_index(const VExpr& e, const std::string& name) {
+  switch (e.kind) {
+    case VKind::Const:
+    case VKind::ScalarRef:
+      return false;
+    case VKind::IndexVal:
+      return mentions(*e.index, name);
+    case VKind::ArrayRef:
+      for (const auto& s : e.subs)
+        if (mentions(*s, name)) return true;
+      return false;
+    case VKind::Bin:
+      return mentions_index(*e.lhs, name) || mentions_index(*e.rhs, name);
+    case VKind::Un:
+      return mentions_index(*e.lhs, name);
+  }
+  return false;
+}
+
+bool same_vexpr(const VExpr& a, const VExpr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case VKind::Const:
+      return a.cval == b.cval;
+    case VKind::ScalarRef:
+      return a.name == b.name;
+    case VKind::IndexVal:
+      return provably_equal(a.index, b.index);
+    case VKind::ArrayRef: {
+      if (a.name != b.name || a.subs.size() != b.subs.size()) return false;
+      for (std::size_t i = 0; i < a.subs.size(); ++i)
+        if (!provably_equal(a.subs[i], b.subs[i])) return false;
+      return true;
+    }
+    case VKind::Bin:
+      return a.bop == b.bop && same_vexpr(*a.lhs, *b.lhs) &&
+             same_vexpr(*a.rhs, *b.rhs);
+    case VKind::Un:
+      return a.uop == b.uop && same_vexpr(*a.lhs, *b.lhs);
+  }
+  return false;
+}
+
+namespace {
+
+// Precedence: additive 1, multiplicative 2, unary 3, atoms 4.
+void print(const VExpr& e, std::ostream& os, int parent_prec) {
+  switch (e.kind) {
+    case VKind::Const:
+      os << e.cval;
+      return;
+    case VKind::ScalarRef:
+      os << e.name;
+      return;
+    case VKind::IndexVal:
+      os << to_string(e.index);
+      return;
+    case VKind::ArrayRef: {
+      os << e.name << '(';
+      for (std::size_t i = 0; i < e.subs.size(); ++i) {
+        if (i) os << ',';
+        os << to_string(e.subs[i]);
+      }
+      os << ')';
+      return;
+    }
+    case VKind::Bin: {
+      int prec = (e.bop == BinOp::Add || e.bop == BinOp::Sub) ? 1 : 2;
+      bool paren = parent_prec > prec;
+      if (paren) os << '(';
+      print(*e.lhs, os, prec);
+      switch (e.bop) {
+        case BinOp::Add: os << " + "; break;
+        case BinOp::Sub: os << " - "; break;
+        case BinOp::Mul: os << "*"; break;
+        case BinOp::Div: os << "/"; break;
+      }
+      print(*e.rhs, os, prec + 1);
+      if (paren) os << ')';
+      return;
+    }
+    case VKind::Un:
+      switch (e.uop) {
+        case UnOp::Neg:
+          os << '-';
+          print(*e.lhs, os, 3);
+          return;
+        case UnOp::Sqrt:
+          os << "SQRT(";
+          print(*e.lhs, os, 0);
+          os << ')';
+          return;
+        case UnOp::Abs:
+          os << "ABS(";
+          print(*e.lhs, os, 0);
+          os << ')';
+          return;
+      }
+  }
+}
+
+}  // namespace
+
+std::string to_string(const VExpr& e) {
+  std::ostringstream os;
+  print(e, os, 0);
+  return os.str();
+}
+
+std::string to_string(const Cond& c) {
+  static constexpr const char* kOps[] = {".EQ.", ".NE.", ".LT.",
+                                         ".LE.", ".GT.", ".GE."};
+  return to_string(*c.lhs) + " " + kOps[static_cast<int>(c.op)] + " " +
+         to_string(*c.rhs);
+}
+
+}  // namespace blk::ir

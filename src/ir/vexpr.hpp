@@ -1,0 +1,113 @@
+// Scalar (floating-point) value expressions — the right-hand sides of
+// assignments and the operands of IF conditions.
+//
+// Value expressions are immutable shared trees like IExpr.  Array subscripts
+// inside them are IExpr index expressions, so loop transformations substitute
+// induction variables uniformly across bounds and subscripts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/iexpr.hpp"
+
+namespace blk::ir {
+
+enum class VKind : std::uint8_t {
+  Const,     ///< double literal
+  ArrayRef,  ///< A(i, j, ...) read
+  ScalarRef, ///< named scalar variable read (e.g. TAU, DEN)
+  IndexVal,  ///< an index expression used as a value (e.g. DBLE(I-K))
+  Bin,       ///< lhs op rhs
+  Un,        ///< op arg
+};
+
+enum class BinOp : std::uint8_t { Add, Sub, Mul, Div };
+enum class UnOp : std::uint8_t { Neg, Sqrt, Abs };
+
+class VExpr;
+using VExprPtr = std::shared_ptr<const VExpr>;
+
+/// One node of a value-expression tree.  Construct via the factories below.
+class VExpr {
+ public:
+  VKind kind;
+  double cval = 0.0;            ///< VKind::Const
+  std::string name;             ///< ArrayRef / ScalarRef
+  std::vector<IExprPtr> subs;   ///< ArrayRef subscripts
+  IExprPtr index;               ///< IndexVal
+  BinOp bop = BinOp::Add;       ///< Bin
+  UnOp uop = UnOp::Neg;         ///< Un
+  VExprPtr lhs, rhs;            ///< Bin (rhs null for Un)
+
+  explicit VExpr(VKind k) : kind(k) {}
+};
+
+// ---- Factories -------------------------------------------------------------
+
+[[nodiscard]] VExprPtr vconst(double v);
+[[nodiscard]] VExprPtr vref(std::string array, std::vector<IExprPtr> subs);
+[[nodiscard]] VExprPtr vscalar(std::string name);
+[[nodiscard]] VExprPtr vindex(IExprPtr e);
+[[nodiscard]] VExprPtr vbin(BinOp op, VExprPtr a, VExprPtr b);
+[[nodiscard]] VExprPtr vun(UnOp op, VExprPtr a);
+
+[[nodiscard]] inline VExprPtr vadd(VExprPtr a, VExprPtr b) {
+  return vbin(BinOp::Add, std::move(a), std::move(b));
+}
+[[nodiscard]] inline VExprPtr vsub(VExprPtr a, VExprPtr b) {
+  return vbin(BinOp::Sub, std::move(a), std::move(b));
+}
+[[nodiscard]] inline VExprPtr vmul(VExprPtr a, VExprPtr b) {
+  return vbin(BinOp::Mul, std::move(a), std::move(b));
+}
+[[nodiscard]] inline VExprPtr vdiv(VExprPtr a, VExprPtr b) {
+  return vbin(BinOp::Div, std::move(a), std::move(b));
+}
+[[nodiscard]] inline VExprPtr vneg(VExprPtr a) {
+  return vun(UnOp::Neg, std::move(a));
+}
+[[nodiscard]] inline VExprPtr vsqrt(VExprPtr a) {
+  return vun(UnOp::Sqrt, std::move(a));
+}
+
+// ---- Conditions ------------------------------------------------------------
+
+enum class CmpOp : std::uint8_t { EQ, NE, LT, LE, GT, GE };
+
+/// IF-statement condition: a single comparison between value expressions.
+/// Fortran logicals are modelled as doubles (0.0 false / 1.0 true), so
+/// `.NOT. FLAG` becomes `FLAG .EQ. 0.0`.
+struct Cond {
+  VExprPtr lhs;
+  CmpOp op = CmpOp::EQ;
+  VExprPtr rhs;
+};
+
+// ---- Algebra ---------------------------------------------------------------
+
+/// Substitute index variable `name` by `replacement` in every subscript and
+/// IndexVal beneath `e`.
+[[nodiscard]] VExprPtr substitute_index(const VExprPtr& e,
+                                        const std::string& name,
+                                        const IExprPtr& replacement);
+
+/// Replace every read of scalar `name` with value expression `replacement`.
+[[nodiscard]] VExprPtr substitute_scalar(const VExprPtr& e,
+                                         const std::string& name,
+                                         const VExprPtr& replacement);
+
+/// True when index variable `name` occurs anywhere beneath `e`.
+[[nodiscard]] bool mentions_index(const VExpr& e, const std::string& name);
+
+/// True when the two trees are structurally identical (subscripts compared
+/// with provably_equal).
+[[nodiscard]] bool same_vexpr(const VExpr& a, const VExpr& b);
+
+/// Render in Fortran-like syntax, e.g. "A(I,J) - A(I,KK)*A(KK,J)".
+[[nodiscard]] std::string to_string(const VExpr& e);
+[[nodiscard]] std::string to_string(const Cond& c);
+
+}  // namespace blk::ir

@@ -1,0 +1,40 @@
+// §3.2 convolution kernels: the oil-exploration loops, in their original
+// point form and after the paper's hand pipeline (index-set splitting of
+// the MIN/MAX trapezoid bounds, unroll-and-jam of I, scalar replacement of
+// the F3 accumulators and the F1 factor).
+#pragma once
+
+#include "kernels/matrix.hpp"
+
+namespace blk::kernels {
+
+/// Problem instance for both convolutions.  The paper's experiment uses
+/// n3 = size with 75% of the work in the triangular regions; make_conv
+/// picks n1 = size-1 and n2 = 6*n1/7 to reproduce that split.
+struct ConvProblem {
+  long n1 = 0, n2 = 0, n3 = 0;
+  double dt = 0.25;
+  Signal f1;  ///< (0:N1)
+  Signal f2;  ///< conv: (0:N2); aconv: (-N2:0)
+  Signal f3;  ///< (0:N3), output
+
+  [[nodiscard]] static ConvProblem make_aconv(long size, std::uint64_t seed);
+  [[nodiscard]] static ConvProblem make_conv(long size, std::uint64_t seed);
+};
+
+/// Adjoint convolution, point form:
+///   DO I = 0,N3 / DO K = I, MIN(I+N2,N1) / F3(I) += DT*F1(K)*F2(I-K)
+void aconv_point(ConvProblem& p);
+
+/// Adjoint convolution after index-set splitting + unroll-and-jam (factor
+/// 4) + scalar replacement.
+void aconv_opt(ConvProblem& p);
+
+/// Convolution, point form:
+///   DO I = 0,N3 / DO K = MAX(0,I-N2), MIN(I,N1) / F3(I) += DT*F1(K)*F2(I-K)
+void conv_point(ConvProblem& p);
+
+/// Convolution after the same pipeline.
+void conv_opt(ConvProblem& p);
+
+}  // namespace blk::kernels

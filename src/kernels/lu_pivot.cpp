@@ -1,0 +1,175 @@
+#include "kernels/lu_pivot.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace blk::kernels {
+
+namespace {
+
+/// Pivot row for column k: argmax |A(i,k)| over i >= k.
+[[nodiscard]] std::size_t find_pivot(const Matrix& a, std::size_t k) {
+  const std::size_t n = a.rows();
+  std::size_t imax = k;
+  double best = std::fabs(a(k, k));
+  const double* ak = a.col(k);
+  for (std::size_t i = k + 1; i < n; ++i) {
+    const double v = std::fabs(ak[i]);
+    if (v > best) {
+      best = v;
+      imax = i;
+    }
+  }
+  return imax;
+}
+
+/// Swap whole rows r1 and r2 across all n columns.
+void swap_rows(Matrix& a, std::size_t r1, std::size_t r2) {
+  if (r1 == r2) return;
+  const std::size_t n = a.cols();
+  for (std::size_t j = 0; j < n; ++j) std::swap(a(r1, j), a(r2, j));
+}
+
+}  // namespace
+
+void lu_pivot_point(Matrix& a, std::vector<std::size_t>& piv) {
+  const std::size_t n = a.rows();
+  piv.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+  if (n == 0) return;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    const std::size_t imax = find_pivot(a, k);
+    piv[k] = imax;
+    swap_rows(a, k, imax);
+    const double pivot = a(k, k);
+    double* ak = a.col(k);
+    for (std::size_t i = k + 1; i < n; ++i) ak[i] /= pivot;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double akj = a(k, j);
+      double* aj = a.col(j);
+      for (std::size_t i = k + 1; i < n; ++i) aj[i] -= ak[i] * akj;
+    }
+  }
+}
+
+void lu_pivot_block(Matrix& a, std::vector<std::size_t>& piv,
+                    std::size_t ks) {
+  const std::size_t n = a.rows();
+  piv.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+  if (n == 0) return;
+  for (std::size_t kb = 0; kb + 1 < n; kb += ks) {
+    const std::size_t ke = std::min(kb + ks - 1, n - 2);
+    // Panel pass: the point algorithm with full-row interchanges, but with
+    // the update confined to the panel's columns.  The delayed trailing
+    // updates commute with the interchanges (§5.2).
+    for (std::size_t kk = kb; kk <= ke; ++kk) {
+      const std::size_t imax = find_pivot(a, kk);
+      piv[kk] = imax;
+      swap_rows(a, kk, imax);
+      const double pivot = a(kk, kk);
+      double* akk = a.col(kk);
+      for (std::size_t i = kk + 1; i < n; ++i) akk[i] /= pivot;
+      const std::size_t jhi = std::min(kb + ks - 1, n - 1);
+      for (std::size_t j = kk + 1; j <= jhi; ++j) {
+        const double av = a(kk, j);
+        double* aj = a.col(j);
+        for (std::size_t i = kk + 1; i < n; ++i) aj[i] -= akk[i] * av;
+      }
+    }
+    // Delayed trailing update (Fig. 8's second nest, KK innermost).
+    for (std::size_t j = kb + ks; j < n; ++j) {
+      double* aj = a.col(j);
+      for (std::size_t i = kb + 1; i < n; ++i) {
+        const std::size_t khi = std::min(ke, i - 1);
+        double t = aj[i];
+        for (std::size_t kk = kb; kk <= khi; ++kk)
+          t -= a(i, kk) * aj[kk];
+        aj[i] = t;
+      }
+    }
+  }
+}
+
+void lu_pivot_block_opt(Matrix& a, std::vector<std::size_t>& piv,
+                        std::size_t ks) {
+  const std::size_t n = a.rows();
+  piv.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) piv[i] = i;
+  if (n == 0) return;
+  for (std::size_t kb = 0; kb + 1 < n; kb += ks) {
+    const std::size_t ke = std::min(kb + ks - 1, n - 2);
+    for (std::size_t kk = kb; kk <= ke; ++kk) {
+      const std::size_t imax = find_pivot(a, kk);
+      piv[kk] = imax;
+      swap_rows(a, kk, imax);
+      const double pivot = a(kk, kk);
+      double* akk = a.col(kk);
+      for (std::size_t i = kk + 1; i < n; ++i) akk[i] /= pivot;
+      const std::size_t jhi = std::min(kb + ks - 1, n - 1);
+      for (std::size_t j = kk + 1; j <= jhi; ++j) {
+        const double av = a(kk, j);
+        double* aj = a.col(j);
+        for (std::size_t i = kk + 1; i < n; ++i) aj[i] -= akk[i] * av;
+      }
+    }
+    // Trailing update with unroll-and-jam (J by 4) + scalar replacement.
+    std::size_t j = kb + ks;
+    for (; j + 3 < n; j += 4) {
+      double* c0 = a.col(j);
+      double* c1 = a.col(j + 1);
+      double* c2 = a.col(j + 2);
+      double* c3 = a.col(j + 3);
+      for (std::size_t i = kb + 1; i < n; ++i) {
+        const std::size_t khi = std::min(ke, i - 1);
+        double t0 = c0[i], t1 = c1[i], t2 = c2[i], t3 = c3[i];
+        for (std::size_t kk = kb; kk <= khi; ++kk) {
+          const double aik = a(i, kk);
+          t0 -= aik * c0[kk];
+          t1 -= aik * c1[kk];
+          t2 -= aik * c2[kk];
+          t3 -= aik * c3[kk];
+        }
+        c0[i] = t0;
+        c1[i] = t1;
+        c2[i] = t2;
+        c3[i] = t3;
+      }
+    }
+    for (; j < n; ++j) {
+      double* cj = a.col(j);
+      for (std::size_t i = kb + 1; i < n; ++i) {
+        const std::size_t khi = std::min(ke, i - 1);
+        double t = cj[i];
+        for (std::size_t kk = kb; kk <= khi; ++kk) t -= a(i, kk) * cj[kk];
+        cj[i] = t;
+      }
+    }
+  }
+}
+
+double lu_pivot_residual(const Matrix& factors,
+                         const std::vector<std::size_t>& piv,
+                         const Matrix& a0) {
+  const std::size_t n = factors.rows();
+  // Apply the recorded interchanges to a copy of A0 to get P*A0.
+  Matrix pa = a0;
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    if (piv[k] != k)
+      for (std::size_t j = 0; j < n; ++j) std::swap(pa(k, j), pa(piv[k], j));
+  }
+  double worst = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t lim = std::min(i, j);
+      double s = 0.0;
+      for (std::size_t k = 0; k < lim; ++k)
+        s += factors(i, k) * factors(k, j);
+      s += (i <= j) ? factors(i, j) : factors(i, j) * factors(j, j);
+      worst = std::max(worst, std::abs(s - pa(i, j)));
+    }
+  }
+  return worst / static_cast<double>(n);
+}
+
+}  // namespace blk::kernels

@@ -1,0 +1,37 @@
+// §5.2 LU decomposition with partial pivoting: point (Fig. 7), block
+// (Fig. 8, derivable only with commutativity knowledge), and the optimized
+// block ("1+", unroll-and-jam + scalar replacement).
+//
+// All variants factor in place and record the pivot row chosen at each
+// step in `piv` (piv[k] = row swapped with k).
+#pragma once
+
+#include <vector>
+
+#include "kernels/matrix.hpp"
+
+namespace blk::kernels {
+
+/// Point algorithm with partial pivoting (Fig. 7): pick the pivot, swap
+/// whole rows, scale, rank-1 update — every step immediately.
+void lu_pivot_point(Matrix& a, std::vector<std::size_t>& piv);
+
+/// Block algorithm (Fig. 8): the point algorithm runs on the panel with
+/// full-row interchanges; the trailing-matrix updates are delayed and
+/// applied in one blocked pass (KK innermost).  Whole-column updates
+/// commute with row interchanges, so the result equals the point
+/// algorithm's.
+void lu_pivot_block(Matrix& a, std::vector<std::size_t>& piv,
+                    std::size_t ks);
+
+/// "1+": Fig. 8 with the trailing nest unroll-and-jammed (J by 4) and the
+/// A(I,J) accumulators scalar-replaced.
+void lu_pivot_block_opt(Matrix& a, std::vector<std::size_t>& piv,
+                        std::size_t ks);
+
+/// Reconstruction residual ||P*A0 - L*U||_max / n.
+[[nodiscard]] double lu_pivot_residual(const Matrix& factors,
+                                       const std::vector<std::size_t>& piv,
+                                       const Matrix& a0);
+
+}  // namespace blk::kernels

@@ -1,0 +1,29 @@
+// §5.4 QR decomposition with Givens rotations: the point algorithm of
+// Fig. 9 (row-oriented inner loop, long strides) and the optimized form of
+// Fig. 10 (index-set splitting at K = L, IF-inspection of J, scalar
+// expansion of the rotation coefficients, distribution and interchange —
+// giving stride-one column access).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "kernels/matrix.hpp"
+
+namespace blk::kernels {
+
+/// Point algorithm (Fig. 9).  A is m x n, m >= n; on return the upper
+/// triangle holds R and the sub-diagonal part is zeroed by rotations.
+void givens_qr_point(Matrix& a);
+
+/// Optimized algorithm (Fig. 10): rotation generation and the column-L
+/// application stay in the J loop (recording C(J), S(J) and the executed
+/// J ranges); the remaining columns are updated with K outermost and J
+/// innermost over the recorded ranges.
+void givens_qr_opt(Matrix& a);
+
+/// ||R - R_ref||_max between two factorizations (rotations are sign-fixed
+/// by construction, so R is unique given the same rotation order).
+[[nodiscard]] double givens_residual(const Matrix& r, const Matrix& r_ref);
+
+}  // namespace blk::kernels

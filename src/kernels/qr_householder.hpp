@@ -1,0 +1,30 @@
+// §5.3 Householder QR.  The point algorithm applies one elementary
+// reflector per column; the block algorithm aggregates KS reflectors with
+// the compact-WY representation Q = I - V*T*V^T, whose T matrix is the
+// computation the paper proves a compiler cannot derive from the point
+// form (hence the BLOCK DO language extension of §6).
+#pragma once
+
+#include <vector>
+
+#include "kernels/matrix.hpp"
+
+namespace blk::kernels {
+
+/// Point algorithm: for k = 0..n-1 compute the reflector for column k
+/// (stored below the diagonal, v(k) = 1 implicit, scales in `tau`) and
+/// apply it immediately to the trailing columns.
+void householder_qr_point(Matrix& a, std::vector<double>& tau);
+
+/// Block algorithm (compact WY): factor a KS-wide panel with the point
+/// algorithm, accumulate T, and apply I - V*T^T*V^T to the trailing
+/// matrix in matrix-matrix form.
+void householder_qr_block(Matrix& a, std::vector<double>& tau,
+                          std::size_t ks);
+
+/// max |(R^T R - A0^T A0)(i,j)| / n — Q-free correctness invariant: the
+/// Gram matrix of A is preserved by orthogonal transformation.
+[[nodiscard]] double qr_gram_residual(const Matrix& factored,
+                                      const Matrix& a0);
+
+}  // namespace blk::kernels

@@ -1,0 +1,27 @@
+#include "lang/blockdo.hpp"
+
+#include "ir/error.hpp"
+#include "ir/stmt.hpp"
+
+namespace blk::lang {
+
+using namespace blk::ir;
+
+ir::Env choose_block_sizes(const CompileResult& cr,
+                           const MachineModel& machine) {
+  ir::Env sizes;
+  for (const auto& [var, bs] : cr.block_params)
+    sizes[bs] = static_cast<long>(machine.block_size_2d());
+  return sizes;
+}
+
+void bind_block_sizes(CompileResult& cr, const ir::Env& sizes) {
+  for (const auto& [var, bs] : cr.block_params) {
+    auto it = sizes.find(bs);
+    if (it == sizes.end())
+      throw Error("bind_block_sizes: no value chosen for " + bs);
+    substitute_index_in_list(cr.program.body, bs, iconst(it->second));
+  }
+}
+
+}  // namespace blk::lang

@@ -1,0 +1,21 @@
+// BLOCK DO lowering: bind each blocking-factor parameter introduced by the
+// parser to a value chosen from the machine model.
+#pragma once
+
+#include "ir/iexpr.hpp"
+#include "lang/machine.hpp"
+#include "lang/parser.hpp"
+
+namespace blk::lang {
+
+/// Choose a blocking factor for every BLOCK DO in `cr` from the machine
+/// model and return the parameter bindings (BS_<var> -> value), ready to
+/// merge into the interpreter's parameter environment.
+[[nodiscard]] ir::Env choose_block_sizes(const CompileResult& cr,
+                                         const MachineModel& machine);
+
+/// Lower in place: substitute each blocking-factor parameter by its chosen
+/// constant, yielding ordinary Fortran-level IR with literal block sizes.
+void bind_block_sizes(CompileResult& cr, const ir::Env& sizes);
+
+}  // namespace blk::lang

@@ -1,0 +1,149 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+
+#include "ir/error.hpp"
+
+namespace blk::lang {
+
+namespace {
+
+[[nodiscard]] char upper(char c) {
+  return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+}
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  bool at_line_start = true;
+  auto push = [&](Tok k, std::string text = {}, long iv = 0, double rv = 0) {
+    out.push_back({.kind = k,
+                   .text = std::move(text),
+                   .ivalue = iv,
+                   .rvalue = rv,
+                   .line = line});
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    // Fortran-style whole-line comments: C/c/* in column one.
+    if (at_line_start && (c == 'C' || c == 'c' || c == '*') &&
+        (i + 1 >= src.size() || src[i + 1] == ' ' || src[i + 1] == '\n')) {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    at_line_start = false;
+    if (c == '!') {  // inline comment
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\n') {
+      if (!out.empty() && out.back().kind != Tok::Newline)
+        push(Tok::Newline);
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '.') {
+      // Relational operator .XX. or a real literal like .5
+      if (i + 3 < src.size() && ident_start(src[i + 1])) {
+        std::string op;
+        op += upper(src[i + 1]);
+        op += upper(src[i + 2]);
+        if (src[i + 3] == '.') {
+          if (op == "EQ" || op == "NE" || op == "LT" || op == "LE" ||
+              op == "GT" || op == "GE") {
+            push(Tok::RelOp, "." + op + ".");
+            i += 4;
+            continue;
+          }
+          throw Error("lex: unknown relational operator ." + op +
+                      ". at line " + std::to_string(line));
+        }
+      }
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      std::size_t j = i;
+      bool is_real = false;
+      while (j < src.size() &&
+             std::isdigit(static_cast<unsigned char>(src[j])))
+        ++j;
+      if (j < src.size() && src[j] == '.' &&
+          !(j + 1 < src.size() && ident_start(src[j + 1]))) {
+        is_real = true;
+        ++j;
+        while (j < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[j])))
+          ++j;
+      }
+      if (j < src.size() && (src[j] == 'e' || src[j] == 'E' ||
+                             src[j] == 'd' || src[j] == 'D')) {
+        std::size_t k = j + 1;
+        if (k < src.size() && (src[k] == '+' || src[k] == '-')) ++k;
+        if (k < src.size() &&
+            std::isdigit(static_cast<unsigned char>(src[k]))) {
+          is_real = true;
+          j = k;
+          while (j < src.size() &&
+                 std::isdigit(static_cast<unsigned char>(src[j])))
+            ++j;
+        }
+      }
+      std::string text(src.substr(i, j - i));
+      for (char& ch : text)
+        if (ch == 'd' || ch == 'D') ch = 'e';
+      if (is_real)
+        push(Tok::Real, text, 0, std::stod(text));
+      else
+        push(Tok::Integer, text, std::stol(text));
+      i = j;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      std::string name;
+      while (j < src.size() && ident_char(src[j])) name += upper(src[j++]);
+      push(Tok::Ident, std::move(name));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '*': push(Tok::Star); break;
+      case '/': push(Tok::Slash); break;
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case ',': push(Tok::Comma); break;
+      case ':': push(Tok::Colon); break;
+      case '=': push(Tok::Assign); break;
+      default:
+        throw Error(std::string("lex: unexpected character '") + c +
+                    "' at line " + std::to_string(line));
+    }
+    ++i;
+  }
+  if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+  push(Tok::End);
+  return out;
+}
+
+}  // namespace blk::lang

@@ -1,0 +1,40 @@
+// Lexer for the mini-Fortran input language (§6).
+//
+// The language is the Fortran-77 subset the paper's examples use — DO
+// loops, IF/THEN/ELSE, REAL*8 arrays, MIN/MAX/SQRT/ABS intrinsics — plus
+// the paper's proposed machine-independence extensions: BLOCK DO, IN ... DO
+// and LAST().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace blk::lang {
+
+enum class Tok : std::uint8_t {
+  Ident,    // names and keywords (keyword-ness decided by the parser)
+  Integer,  // 123
+  Real,     // 1.5, 0.0, 2e-3
+  RelOp,    // .EQ. .NE. .LT. .LE. .GT. .GE. (text carries which)
+  Plus, Minus, Star, Slash,
+  LParen, RParen, Comma, Colon, Assign,
+  Newline,  // statement separator
+  End,      // end of input
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;   // identifier/relop text (upper-cased), number text
+  long ivalue = 0;    // Integer payload
+  double rvalue = 0;  // Real payload
+  int line = 0;       // 1-based source line for diagnostics
+};
+
+/// Tokenize `src`.  Comments ('!' to end of line, or a leading C/c/*)
+/// are skipped; blank lines collapse.  Throws blk::Error with a line
+/// number on malformed input.
+[[nodiscard]] std::vector<Token> lex(std::string_view src);
+
+}  // namespace blk::lang

@@ -1,0 +1,43 @@
+// Machine model used by the compiler to choose blocking factors (§6: the
+// whole point of BLOCK DO is that this choice is the compiler's, not the
+// programmer's).
+#pragma once
+
+#include <cstddef>
+
+namespace blk::lang {
+
+/// Memory-hierarchy parameters of the target.  Defaults model the paper's
+/// IBM RS/6000 540 (64 KB data cache, 128-byte lines, 4-way).
+struct MachineModel {
+  std::size_t cache_bytes = 64 * 1024;
+  std::size_t line_bytes = 128;
+  std::size_t assoc = 4;
+  std::size_t element_bytes = 8;   ///< double precision
+  std::size_t fp_registers = 32;
+
+  /// Blocking factor for a loop whose block touches roughly
+  /// footprint_per_iter * BS bytes of reused data (the Lam/Rothberg/Wolf
+  /// working-set rule: keep the block's working set within a fraction of
+  /// capacity to dodge interference).  For the canonical 2-D case the
+  /// working set is BS^2 elements, giving BS ~ sqrt(cache/(3*elem)).
+  [[nodiscard]] std::size_t block_size_2d() const {
+    std::size_t bs = 4;
+    while ((bs * 2) * (bs * 2) * element_bytes * 3 <= cache_bytes)
+      bs *= 2;
+    if (bs < 4) bs = 4;
+    if (bs > 256) bs = 256;
+    return bs;
+  }
+
+  /// Register-blocking (unroll-and-jam) factor: leave room for the
+  /// accumulators plus a couple of shared operands.
+  [[nodiscard]] std::size_t unroll_factor() const {
+    std::size_t u = fp_registers / 8;
+    if (u < 2) u = 2;
+    if (u > 8) u = 8;
+    return u;
+  }
+};
+
+}  // namespace blk::lang

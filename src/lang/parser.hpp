@@ -1,0 +1,39 @@
+// Recursive-descent parser: mini-Fortran source -> blk::ir::Program.
+//
+// Declarations:
+//   PARAMETER N, KS
+//   REAL*8 A(N,N), F2(-N2:0)
+//   REAL*8 TAU                      ! scalars have no dimensions
+// Statements:
+//   DO V = lb, ub [, step] ... ENDDO
+//   BLOCK DO V = lb, ub ... ENDDO              (§6 extension)
+//   IN V DO VV [= lb, ub] ... ENDDO            (§6 extension)
+//   IF (expr .OP. expr) THEN ... [ELSE ...] ENDIF
+//   [label:] lvalue = expression
+// Index expressions may use MIN(...), MAX(...) (any arity >= 2) and
+// LAST(V) inside an IN-region (§6).
+//
+// Each BLOCK DO introduces a fresh symbolic blocking-factor parameter
+// named BS_<var> recorded in CompileResult::block_params; callers bind it
+// to a machine-chosen value (see blockdo.hpp) or at interpretation time.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "ir/program.hpp"
+
+namespace blk::lang {
+
+struct CompileResult {
+  ir::Program program;
+  /// BLOCK DO loop variable -> blocking-factor parameter name (BS_<var>).
+  std::map<std::string, std::string> block_params;
+};
+
+/// Parse and lower mini-Fortran source text.  Throws blk::Error with a
+/// line number on syntax or symbol errors.
+[[nodiscard]] CompileResult compile(std::string_view source);
+
+}  // namespace blk::lang

@@ -1,0 +1,84 @@
+#include "transform/distribute.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "ir/error.hpp"
+
+namespace blk::transform {
+
+using namespace blk::ir;
+using analysis::DepGraph;
+
+std::vector<Loop*> distribute(StmtList& root, Loop& loop,
+                              const analysis::Assumptions* ctx,
+                              const IgnoreEdge& ignore) {
+  DepGraph g(root, loop, ctx);
+  std::vector<std::vector<std::size_t>> groups = g.components(ignore);
+
+  if (groups.size() <= 1) return {&loop};
+
+  // Stability guard: a distribution must not reorder statements connected
+  // by dependences; topological component order guarantees that.  Also
+  // keep the original textual order within each group (node indices are
+  // body positions).
+  for (auto& gp : groups) std::sort(gp.begin(), gp.end());
+
+  // Find the loop in its parent list.
+  LoopLocation loc = find_loop(root, loop.var);
+  // find_loop finds the first loop with this name; ensure identity.
+  if (loc.loop != &loop) {
+    // Search exhaustively: walk all loops with this var.
+    // (Occurs after splitting created same-named siblings.)
+    struct Finder {
+      Loop* target;
+      LoopLocation found;
+      void walk(StmtList& body) {
+        for (std::size_t i = 0; i < body.size(); ++i) {
+          Stmt& s = *body[i];
+          if (s.kind() == SKind::Loop) {
+            Loop& l = s.as_loop();
+            if (&l == target) {
+              found = {.parent = &body, .index = i, .loop = &l};
+              return;
+            }
+            walk(l.body);
+          } else if (s.kind() == SKind::If) {
+            walk(s.as_if().then_body);
+            walk(s.as_if().else_body);
+          }
+          if (found.loop) return;
+        }
+      }
+    } finder{.target = &loop, .found = {}};
+    finder.walk(root);
+    loc = finder.found;
+  }
+  if (!loc) throw Error("distribute: loop not found in tree");
+
+  // Build one loop per group, in order.
+  std::vector<StmtPtr> pieces;
+  std::vector<Loop*> out;
+  for (const auto& gp : groups) {
+    StmtList body;
+    for (std::size_t node : gp) {
+      if (!loop.body[node])
+        throw Error("distribute: node claimed twice");
+      body.push_back(std::move(loop.body[node]));
+    }
+    StmtPtr l = make_loop(loop.var, loop.lb, loop.ub, std::move(body),
+                          loop.step);
+    out.push_back(&l->as_loop());
+    pieces.push_back(std::move(l));
+  }
+
+  // Replace the original loop by the pieces.
+  StmtList& parent = *loc.parent;
+  parent.erase(parent.begin() + static_cast<long>(loc.index));
+  parent.insert(parent.begin() + static_cast<long>(loc.index),
+                std::make_move_iterator(pieces.begin()),
+                std::make_move_iterator(pieces.end()));
+  return out;
+}
+
+}  // namespace blk::transform

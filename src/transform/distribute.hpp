@@ -1,0 +1,32 @@
+// Loop distribution (loop fission).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "analysis/depgraph.hpp"
+#include "ir/program.hpp"
+
+namespace blk::transform {
+
+/// Predicate deciding whether a recurrence edge may be ignored for
+/// distribution.  Used by the commutativity machinery of §5.2: dependences
+/// between a row-interchange and a whole-column update are semantically
+/// ignorable even though data dependence forbids them.
+using IgnoreEdge = analysis::DepGraph::EdgeFilter;
+
+/// Distribute `loop` into one loop per strongly connected component of its
+/// body's dependence graph, in topological order.  Components that are
+/// adjacent and carry no edge between them are still separated (maximal
+/// distribution); callers wanting fusion can refuse.
+///
+/// Returns pointers to the new loops, in execution order.  When the body
+/// is a single component, the loop is left untouched and returned alone.
+///
+/// `ignore` (optional) removes specific edges from the graph before the
+/// SCC computation — the hook for commutativity knowledge.
+std::vector<ir::Loop*> distribute(ir::StmtList& root, ir::Loop& loop,
+                                  const analysis::Assumptions* ctx = nullptr,
+                                  const IgnoreEdge& ignore = {});
+
+}  // namespace blk::transform

@@ -1,0 +1,34 @@
+// Loop fusion (the inverse of distribution) and loop reversal — the two
+// classical transformations that round out the catalogue: maximal
+// distribution followed by selective fusion is the standard way to
+// re-group statements after index-set splitting.
+#pragma once
+
+#include "analysis/assume.hpp"
+#include "ir/program.hpp"
+
+namespace blk::transform {
+
+/// Fuse `first` with the loop immediately following it in the same
+/// statement list.  The headers must be provably identical (lower bound,
+/// upper bound, step); the second loop's body is renamed to the first's
+/// variable and appended.
+///
+/// Legality: fusion is illegal when a dependence from the first body to
+/// the second would become *backward-carried* — i.e. the second loop's
+/// iteration i consumes what the first produces at some later iteration
+/// j > i.  Such dependences surface after trial fusion as carried edges
+/// from second-body statements to first-body statements; `check` verifies
+/// none exist (and undoes the trial when they do, throwing blk::Error).
+///
+/// Returns the fused loop (the `first` node, grown).
+ir::Loop& fuse(ir::StmtList& root, ir::Loop& first, bool check = true,
+               const analysis::Assumptions* ctx = nullptr);
+
+/// Reverse `loop` (DO I = lb, ub  ->  DO I = ub, lb, -1).  Legal only when
+/// the loop carries no dependence (every dependence at its level is
+/// loop-independent); `check` enforces that.
+void reverse_loop(ir::StmtList& root, ir::Loop& loop, bool check = true,
+                  const analysis::Assumptions* ctx = nullptr);
+
+}  // namespace blk::transform

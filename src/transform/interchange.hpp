@@ -1,0 +1,40 @@
+// Loop interchange, including the paper's triangular bound rewrite (§3.1).
+#pragma once
+
+#include "analysis/assume.hpp"
+#include "ir/program.hpp"
+
+namespace blk::transform {
+
+/// Can `outer` legally be interchanged with its immediately nested loop?
+/// Requires a perfect 2-deep nest at this level; illegal when any
+/// dependence has a (<,>) direction pattern on the pair.  `ctx` supplies
+/// extra facts for the dependence screen.
+[[nodiscard]] bool interchange_legal(ir::StmtList& root, ir::Loop& outer,
+                                     const analysis::Assumptions* ctx =
+                                         nullptr);
+
+/// Interchange `outer` with its single child loop.
+///
+/// Rectangular nests swap headers.  Triangular nests — where exactly one
+/// bound of the inner loop is an affine function a*OUTER+b of the outer
+/// variable — are rewritten per §3.1; e.g. for an inner lower bound with
+/// a > 0:
+///
+///   DO II = I, U            DO J = a*I+b, M
+///     DO J = a*II+b, M  =>    DO II = I, MIN((J-b)/a, U)
+///
+/// and symmetrically for upper bounds and a < 0.  Bounds that depend on
+/// the outer variable through MIN/MAX must be resolved first (see
+/// Assumptions::resolve_minmax).  Throws blk::Error when the shape is not
+/// supported; `check` additionally enforces dependence legality.
+void interchange(ir::StmtList& root, ir::Loop& outer, bool check = true,
+                 const analysis::Assumptions* ctx = nullptr);
+
+/// Repeatedly interchange to sink `loop` to the innermost position of its
+/// perfect subnest (used by blocking drivers to move a strip loop inward).
+/// Returns the number of interchanges performed.
+int sink_loop(ir::StmtList& root, ir::Loop& loop, bool check = true,
+              const analysis::Assumptions* ctx = nullptr);
+
+}  // namespace blk::transform

@@ -1,0 +1,57 @@
+// Commutativity pattern matching (§5.2).
+//
+// Data dependence alone cannot block LU decomposition with partial
+// pivoting: distributing the strip loop turns a flow dependence between the
+// whole-column update (statement 10) and the row interchange (statement 25)
+// into a reversed antidependence.  The paper's remedy is semantic knowledge:
+// row interchanges commute with whole-column updates.  This module
+// recognizes both shapes so the blocking driver can ignore the recurrence
+// edges between them.
+#pragma once
+
+#include <optional>
+
+#include "analysis/depgraph.hpp"
+#include "ir/program.hpp"
+#include "transform/distribute.hpp"
+
+namespace blk::transform {
+
+/// A matched row-interchange loop:
+///
+///   DO J = lo, hi
+///     TAU      = A(r1, J)
+///     A(r1, J) = A(r2, J)
+///     A(r2, J) = TAU
+///
+/// with r1, r2 invariant in J.  The swap touches whole rows of `array`.
+struct RowSwapPattern {
+  const ir::Loop* loop = nullptr;
+  std::string array;
+  ir::IExprPtr row1, row2;
+  std::string col_var;
+};
+
+/// Match a loop against the row-interchange shape.
+[[nodiscard]] std::optional<RowSwapPattern> match_row_swap(
+    const ir::Loop& loop);
+
+/// A whole-column update assignment:
+///
+///   A(i, j) = A(i, j) - A(i, k) * A(k, j)
+///
+/// where i is an inner loop variable sweeping rows and j a loop variable
+/// sweeping columns — the Gaussian elimination rank-1 update applied
+/// column-wise.  Weaker shapes (scaling A(i,k) = A(i,k)/A(k,k)) also count:
+/// any assignment that writes A(i, c) reading only column entries with the
+/// same row variable i or a row index invariant in i.
+[[nodiscard]] bool is_column_update(const ir::Stmt& stmt,
+                                    const std::string& array);
+
+/// Distribution edge filter implementing the commutativity rule: an edge
+/// may be ignored when one endpoint lies inside a matched row-interchange
+/// loop and the other is (or contains only) whole-column updates on the
+/// same array.  Everything else is kept.
+[[nodiscard]] IgnoreEdge commutativity_filter(const ir::Loop& carrier);
+
+}  // namespace blk::transform

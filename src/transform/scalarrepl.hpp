@@ -1,0 +1,58 @@
+// Scalar replacement and scalar expansion.
+//
+// Scalar replacement (Callahan/Carr/Kennedy, "Improving register allocation
+// for subscripted variables") keeps loop-invariant array elements in
+// scalars so the backend can register-allocate them; in this study it is
+// the transformation that turns blocked code ("2") into the fast variant
+// ("2+").  Scalar expansion turns a scalar assigned in a loop into an
+// array indexed by the loop variable, breaking the scalar's loop-carried
+// anti/output dependences so the loop can be distributed (used on the
+// Givens rotation coefficients C, S in §5.4).
+#pragma once
+
+#include "analysis/assume.hpp"
+#include "ir/program.hpp"
+
+namespace blk::transform {
+
+/// Replace array references inside `loop` whose subscripts are invariant
+/// with respect to `loop` and every loop nested inside it.  A group of
+/// provably identical references becomes:
+///
+///   T = A(subs)          ! before the loop
+///   ... T ...            ! inside
+///   A(subs) = T          ! after, when the group contains a write
+///
+/// A group is only replaced when every other reference to the same array
+/// inside the loop is provably disjoint from it (section analysis under
+/// `base` plus the enclosing loops' range facts).  Returns the number of
+/// groups replaced.
+int scalar_replace(ir::Program& p, ir::StmtList& root, ir::Loop& loop,
+                   const analysis::Assumptions& base = {});
+
+/// Expand scalar `name` assigned inside `loop` into a compiler temporary
+/// array indexed by the loop variable: every read and write of the scalar
+/// in the loop body becomes NAME_X(V).  The array is dimensioned by the
+/// loop bounds' extreme values over the enclosing nest.  Returns the new
+/// array's name.
+std::string scalar_expand(ir::Program& p, ir::StmtList& root, ir::Loop& loop,
+                          const std::string& name);
+
+/// Cross-iteration scalar replacement (the "rotating values" case of
+/// Callahan/Carr/Kennedy that the paper's §3.2 results build on):
+///
+///   DO I = lb, ub                  IF (lb <= ub) THEN
+///     A(f(I)) = g(A(f(I-1)))  ->     T = A(f(lb-1))
+///                                    DO I = lb, ub
+///                                      A(f(I)) = g(T)
+///                                      T = A(f(I))
+///
+/// The written value flows to the next iteration through a scalar instead
+/// of memory.  Applies when the loop body contains exactly one write to
+/// the array at this level, the carried reads are its subscripts shifted
+/// by one iteration, and no other reference interferes.  Returns the
+/// number of arrays rotated (0 when the pattern is absent).
+int scalar_replace_carried(ir::Program& p, ir::StmtList& root,
+                           ir::Loop& loop);
+
+}  // namespace blk::transform

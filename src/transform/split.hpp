@@ -1,0 +1,70 @@
+// Index-set splitting (§3) — the paper's key enabling transformation.
+//
+// Three entry points:
+//   * split_at           - the primitive: one loop into two disjoint pieces
+//   * split_trapezoid    - §3.2: remove a MIN/MAX from an inner bound by
+//                          splitting the outer loop at the crossover
+//   * index_set_split    - Fig. 3: section-analysis-driven splitting that
+//                          carves the non-recurrent part out of a loop with
+//                          a partial recurrence, enabling distribution
+#pragma once
+
+#include <utility>
+
+#include "analysis/depgraph.hpp"
+#include "analysis/sections.hpp"
+#include "ir/program.hpp"
+
+namespace blk::transform {
+
+/// Split `loop` at `point`:
+///
+///   DO V = lb, MIN(ub, point)            ! piece 1
+///   DO V = MAX(lb, MIN(ub,point)+1), ub  ! piece 2
+///
+/// Execution order and the iteration set are unchanged for every value of
+/// the symbols, so this is unconditionally safe.  Returns the two pieces
+/// (the first reuses the original node).
+std::pair<ir::Loop*, ir::Loop*> split_at(ir::StmtList& root, ir::Loop& loop,
+                                         ir::IExprPtr point);
+
+/// §3.2 trapezoid handling.  `outer` must perfectly enclose one inner loop
+/// whose upper bound is MIN(f(outer), g) or whose lower bound is
+/// MAX(f(outer), g), with f affine in the outer variable and g independent
+/// of it.  Splits `outer` at the crossover and replaces the MIN/MAX by the
+/// winning operand in each piece.  Returns the two outer pieces.
+std::pair<ir::Loop*, ir::Loop*> split_trapezoid(ir::StmtList& root,
+                                                ir::Loop& outer);
+
+/// Fully de-trapezoidalize: repeatedly apply split_trapezoid to `outer`
+/// and its pieces until no inner bound carries a MIN/MAX that mentions the
+/// outer variable.  Returns the resulting outer loops in execution order.
+std::vector<ir::Loop*> split_trapezoid_all(ir::StmtList& root,
+                                           ir::Loop& outer);
+
+/// Result of Procedure IndexSetSplit (Fig. 3).
+struct SplitReport {
+  bool distributable = false;  ///< the body now has >1 dependence component
+  int splits = 0;              ///< index-set splits performed
+};
+
+/// Procedure IndexSetSplit: for each transformation-preventing dependence
+/// of `carrier`'s body (edges inside a multi-statement SCC), compute source
+/// and sink sections, and when they provably diverge, split the sink's
+/// generator loop at the boundary between the common and disjoint regions.
+/// Each candidate split is *trialled*: if it does not increase the number
+/// of dependence components of the carrier body it is undone, so hopeless
+/// recurrences (a scalar binding everything together) cannot trigger split
+/// cascades.  Repeats until the body is distributable or no trial helps.
+///
+/// `base` carries driver facts (e.g. the full-block assumption
+/// K+KS-1 <= N-1) that guide *where* to split; splitting is safe for any
+/// symbol values, so wrong guidance can only cost performance.
+/// `use_commutativity` applies the §5.2 pattern matcher when measuring
+/// progress (the filter is re-derived after every mutation, since matched
+/// statements move and clone during splitting).
+SplitReport index_set_split(ir::StmtList& root, ir::Loop& carrier,
+                            const analysis::Assumptions& base,
+                            bool use_commutativity = false);
+
+}  // namespace blk::transform

@@ -1,0 +1,32 @@
+#include "transform/stripmine.hpp"
+
+#include "ir/error.hpp"
+
+namespace blk::transform {
+
+using namespace blk::ir;
+
+Loop& strip_mine(Program& p, Loop& loop, IExprPtr block, bool exact) {
+  if (!(loop.step->kind == IKind::Const && loop.step->value == 1))
+    throw Error("strip_mine: loop " + loop.var + " must have unit step");
+
+  std::string inner_var = p.fresh_var(loop.var);
+  p.note_var(inner_var);
+
+  // Body now belongs to the inner loop, iterating with the new variable.
+  StmtList body = std::move(loop.body);
+  substitute_index_in_list(body, loop.var, ivar(inner_var));
+
+  IExprPtr inner_ub = simplify(isub(iadd(ivar(loop.var), block), iconst(1)));
+  if (!exact) inner_ub = imin(inner_ub, loop.ub);
+
+  StmtPtr inner = make_loop(inner_var, ivar(loop.var), std::move(inner_ub),
+                            std::move(body));
+  Loop& inner_ref = inner->as_loop();
+  loop.body.clear();
+  loop.body.push_back(std::move(inner));
+  loop.step = std::move(block);
+  return inner_ref;
+}
+
+}  // namespace blk::transform

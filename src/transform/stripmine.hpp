@@ -1,0 +1,23 @@
+// Strip mining: the first half of strip-mine-and-interchange (§2.3).
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace blk::transform {
+
+/// Turn `DO V = lb, ub` into
+///
+///   DO V  = lb, ub, BS
+///     DO VV = V, MIN(V+BS-1, ub)
+///       <body with V replaced by VV>
+///
+/// The loop must have unit step.  `block` is the (possibly symbolic) strip
+/// size BS.  When `exact` is true the MIN is omitted (caller guarantees BS
+/// divides the trip count — used while deriving, where MIN bounds would
+/// blind the symbolic analyses; the driver reinstates the MIN afterwards).
+///
+/// Returns the new inner loop; the outer loop is the original in place.
+ir::Loop& strip_mine(ir::Program& p, ir::Loop& loop, ir::IExprPtr block,
+                     bool exact = false);
+
+}  // namespace blk::transform

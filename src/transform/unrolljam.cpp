@@ -1,0 +1,255 @@
+#include "transform/unrolljam.hpp"
+
+#include <algorithm>
+
+#include "analysis/ddtest.hpp"
+#include "ir/affine.hpp"
+#include "ir/error.hpp"
+
+namespace blk::transform {
+
+using namespace blk::ir;
+using analysis::Assumptions;
+
+namespace {
+
+/// Locate `loop` by identity anywhere under `root`.
+LoopLocation locate(StmtList& root, const Loop& loop) {
+  struct Finder {
+    const Loop* target;
+    LoopLocation found;
+    void walk(StmtList& body) {
+      for (std::size_t i = 0; i < body.size() && !found.loop; ++i) {
+        Stmt& s = *body[i];
+        if (s.kind() == SKind::Loop) {
+          Loop& l = s.as_loop();
+          if (&l == target) {
+            found = {.parent = &body, .index = i, .loop = &l};
+            return;
+          }
+          walk(l.body);
+        } else if (s.kind() == SKind::If) {
+          walk(s.as_if().then_body);
+          walk(s.as_if().else_body);
+        }
+      }
+    }
+  } finder{.target = &loop, .found = {}};
+  finder.walk(root);
+  if (!finder.found)
+    throw Error("unroll_and_jam: loop " + loop.var + " not found in tree");
+  return finder.found;
+}
+
+/// Merge `factor` unrolled copies of a statement list position-by-position.
+StmtList jam(std::vector<StmtList> copies) {
+  StmtList out;
+  if (copies.empty()) return out;
+  std::size_t len = copies[0].size();
+  for (const auto& c : copies)
+    if (c.size() != len)
+      throw Error("unroll_and_jam: copies diverge in statement count");
+  for (std::size_t i = 0; i < len; ++i) {
+    SKind kind = copies[0][i]->kind();
+    for (const auto& c : copies)
+      if (c[i]->kind() != kind)
+        throw Error("unroll_and_jam: copies diverge in statement kind");
+    switch (kind) {
+      case SKind::Assign:
+        for (auto& c : copies) out.push_back(std::move(c[i]));
+        break;
+      case SKind::Loop: {
+        Loop& first = copies[0][i]->as_loop();
+        std::vector<StmtList> bodies;
+        for (auto& c : copies) {
+          Loop& l = c[i]->as_loop();
+          if (!provably_equal(l.lb, first.lb) ||
+              !provably_equal(l.ub, first.ub) ||
+              !provably_equal(l.step, first.step))
+            throw Error(
+                "unroll_and_jam: inner loop bounds depend on the unrolled "
+                "variable; use the triangular variant");
+          if (l.var != first.var)
+            throw Error("unroll_and_jam: inner variable mismatch");
+          bodies.push_back(std::move(l.body));
+        }
+        first.body = jam(std::move(bodies));
+        out.push_back(std::move(copies[0][i]));
+        break;
+      }
+      case SKind::If: {
+        If& first = copies[0][i]->as_if();
+        std::vector<StmtList> thens, elses;
+        for (auto& c : copies) {
+          If& f = c[i]->as_if();
+          if (!same_vexpr(*f.cond.lhs, *first.cond.lhs) ||
+              f.cond.op != first.cond.op ||
+              !same_vexpr(*f.cond.rhs, *first.cond.rhs))
+            throw Error(
+                "unroll_and_jam: IF condition depends on the unrolled "
+                "variable; apply IF-inspection first");
+          thens.push_back(std::move(f.then_body));
+          elses.push_back(std::move(f.else_body));
+        }
+        first.then_body = jam(std::move(thens));
+        first.else_body = jam(std::move(elses));
+        out.push_back(std::move(copies[0][i]));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Unrolled copies of `body` with `var` shifted by 0..factor-1.
+std::vector<StmtList> make_copies(const StmtList& body,
+                                  const std::string& var, long factor) {
+  std::vector<StmtList> copies;
+  copies.reserve(static_cast<std::size_t>(factor));
+  for (long k = 0; k < factor; ++k) {
+    StmtList c = clone_list(body);
+    if (k != 0)
+      substitute_index_in_list(c, var, iadd(ivar(var), iconst(k)));
+    copies.push_back(std::move(c));
+  }
+  return copies;
+}
+
+/// Append the remainder loop after the (mutated-in-place) main loop.
+/// `original_body` is a pristine clone of the pre-transformation body.
+void add_remainder(StmtList& parent, std::size_t index, const Loop& main,
+                   IExprPtr orig_lb, IExprPtr orig_ub, StmtList body) {
+  // First iteration not covered by the main loop:
+  //   lb + floor(max(trip, 0)/factor) * factor
+  // The MAX guard keeps an originally empty loop (negative trip count)
+  // from spawning phantom iterations below the lower bound.
+  IExprPtr trip =
+      imax(iadd(isub(orig_ub, orig_lb), iconst(1)), iconst(0));
+  IExprPtr rem_lb = simplify(
+      iadd(orig_lb, imul(ifloordiv(trip, main.const_step()),
+                         iconst(main.const_step()))));
+  StmtPtr rem =
+      make_loop(main.var, std::move(rem_lb), std::move(orig_ub),
+                std::move(body));
+  parent.insert(parent.begin() + static_cast<long>(index) + 1,
+                std::move(rem));
+}
+
+}  // namespace
+
+bool unroll_and_jam_legal(StmtList& root, Loop& loop, long factor,
+                          const Assumptions* ctx) {
+  auto deps = analysis::all_dependences(root, {.ctx = ctx});
+  for (const auto& d : deps) {
+    std::size_t depth = d.src.common_depth(d.dst);
+    std::optional<std::size_t> pos;
+    for (std::size_t i = 0; i < depth; ++i)
+      if (d.src.loops[i] == &loop) pos = i;
+    if (!pos) continue;
+    for (const auto& v : d.vectors) {
+      if (v[*pos] != analysis::Dir::LT) continue;
+      // (<, ..., >) against an inner loop: reversed by the jam.
+      for (std::size_t j = *pos + 1; j < v.size(); ++j)
+        if (v[j] == analysis::Dir::GT) return false;
+      // Later-statement -> earlier-statement carried within the strip:
+      // after jamming, all of the earlier statement's copies run first,
+      // reversing the dependence unless the carried distance clears the
+      // strip.
+      if (d.src.textual_pos > d.dst.textual_pos) {
+        auto dist = d.distance_at(*pos);
+        if (!dist || *dist < factor) return false;
+      }
+    }
+  }
+  return true;
+}
+
+void unroll_and_jam(StmtList& root, Loop& loop, long factor,
+                    const Assumptions* ctx, bool check) {
+  if (factor < 2) throw Error("unroll_and_jam: factor must be >= 2");
+  if (!(loop.step->kind == IKind::Const && loop.step->value == 1))
+    throw Error("unroll_and_jam: loop must have unit step");
+  if (check && !unroll_and_jam_legal(root, loop, factor, ctx))
+    throw Error("unroll_and_jam: dependences forbid jamming " + loop.var);
+
+  LoopLocation loc = locate(root, loop);
+  IExprPtr orig_lb = loop.lb;
+  IExprPtr orig_ub = loop.ub;
+  StmtList pristine = clone_list(loop.body);
+
+  loop.body = jam(make_copies(loop.body, loop.var, factor));
+  loop.ub = simplify(isub(loop.ub, iconst(factor - 1)));
+  loop.step = iconst(factor);
+  add_remainder(*loc.parent, loc.index, loop, std::move(orig_lb),
+                std::move(orig_ub), std::move(pristine));
+}
+
+void unroll_and_jam_triangular(StmtList& root, Loop& loop, long factor,
+                               const Assumptions* ctx, bool check) {
+  if (factor < 2)
+    throw Error("unroll_and_jam_triangular: factor must be >= 2");
+  if (loop.body.size() != 1 || loop.body[0]->kind() != SKind::Loop)
+    throw Error(
+        "unroll_and_jam_triangular: need a perfect 2-deep nest under " +
+        loop.var);
+  Loop& inner = loop.body[0]->as_loop();
+  auto f = as_affine(*inner.lb);
+  if (!f || f->coef_of(loop.var) != 1)
+    throw Error(
+        "unroll_and_jam_triangular: inner lower bound must be " + loop.var +
+        " + beta (slope one)");
+  if (mentions(*inner.ub, loop.var))
+    throw Error(
+        "unroll_and_jam_triangular: inner upper bound must not depend on " +
+        loop.var);
+  if (check && !unroll_and_jam_legal(root, loop, factor, ctx))
+    throw Error("unroll_and_jam_triangular: dependences forbid jamming " +
+                loop.var);
+
+  LoopLocation loc = locate(root, loop);
+  IExprPtr orig_lb = loop.lb;
+  IExprPtr orig_ub = loop.ub;
+  IExprPtr m = inner.ub;                         // independent upper bound
+  Affine beta_aff = *f - Affine::variable(loop.var, 1);
+  IExprPtr beta = from_affine(beta_aff);
+  std::string jvar = inner.var;
+  StmtList pristine = clone_list(loop.body);
+  StmtList inner_body = std::move(inner.body);
+
+  const std::string i = loop.var;
+  const std::string ii = i + "T";  // triangular-head induction variable
+
+  // Triangular head: DO II = I, I+f-2 / DO J = II+beta, MIN(I+f-2+beta, M).
+  StmtList head_inner_body = clone_list(inner_body);
+  substitute_index_in_list(head_inner_body, i, ivar(ii));
+  IExprPtr head_j_ub =
+      imin(simplify(iadd(iadd(ivar(i), iconst(factor - 2)), beta)), m);
+  StmtPtr head_j = make_loop(
+      jvar, simplify(iadd(ivar(ii), beta)), std::move(head_j_ub),
+      std::move(head_inner_body));
+  // The head body uses II where the original used I; the substitution above
+  // replaced I inside the body, and the J bound uses II directly.
+  StmtList head_body;
+  head_body.push_back(std::move(head_j));
+  StmtPtr head = make_loop(ii, ivar(i),
+                           simplify(iadd(ivar(i), iconst(factor - 2))),
+                           std::move(head_body));
+
+  // Rectangular part: DO J = I+f-1+beta, M with the body unrolled over the
+  // strip I .. I+f-1.
+  std::vector<StmtList> copies = make_copies(inner_body, i, factor);
+  StmtList rect_body = jam(std::move(copies));
+  StmtPtr rect = make_loop(
+      jvar, simplify(iadd(iadd(ivar(i), iconst(factor - 1)), beta)), m,
+      std::move(rect_body));
+
+  loop.body.clear();
+  loop.body.push_back(std::move(head));
+  loop.body.push_back(std::move(rect));
+  loop.ub = simplify(isub(loop.ub, iconst(factor - 1)));
+  loop.step = iconst(factor);
+  add_remainder(*loc.parent, loc.index, loop, std::move(orig_lb),
+                std::move(orig_ub), std::move(pristine));
+}
+
+}  // namespace blk::transform

@@ -1,0 +1,64 @@
+// Unroll-and-jam (register blocking), rectangular and triangular (§2.3,
+// §3.1).
+#pragma once
+
+#include "analysis/assume.hpp"
+#include "ir/program.hpp"
+
+namespace blk::transform {
+
+/// Rectangular unroll-and-jam of `loop` by `factor`:
+///
+///   DO I = lb, ub              DO I = lb, ub-(factor-1), factor
+///     <body(I)>           =>     <jam(body(I), ..., body(I+factor-1))>
+///                              DO I = <past main part>, ub
+///                                <body(I)>          ! remainder pre/post loop
+///
+/// Jamming merges the unrolled copies position-by-position: assignments
+/// concatenate in unroll order; loops whose bounds are provably identical
+/// across copies fuse into one loop with concatenated bodies (recursively).
+/// Throws blk::Error when the loop body's inner-loop bounds depend on the
+/// unrolled variable (use unroll_and_jam_triangular) or when dependences
+/// forbid the jam.
+void unroll_and_jam(ir::StmtList& root, ir::Loop& loop, long factor,
+                    const analysis::Assumptions* ctx = nullptr,
+                    bool check = true);
+
+/// Triangular unroll-and-jam (§3.1) for a 2-deep nest
+///
+///   DO I = lb, ub
+///     DO J = I+beta, M         ! lower bound tracks I with slope 1
+///       <body>
+///
+/// Produces, per strip of `factor` iterations of I (the paper's Fig. in
+/// §3.1 with alpha = 1):
+///
+///   DO I = lb, ub-(factor-1), factor
+///     DO II = I, I+factor-2              ! triangular head, not unrolled
+///       DO J = II+beta, MIN(I+factor-2+beta, M)
+///         <body(II)>
+///     DO J = I+factor-1+beta, M          ! rectangular part, unrolled
+///       <body(I) ... body(I+factor-1)>
+///   DO I = ..., ub                       ! remainder
+///     DO J = I+beta, M
+///       <body>
+///
+/// Requires the inner lower bound to be exactly I + beta (slope one, the
+/// form every kernel in the paper exhibits).
+void unroll_and_jam_triangular(ir::StmtList& root, ir::Loop& loop,
+                               long factor,
+                               const analysis::Assumptions* ctx = nullptr,
+                               bool check = true);
+
+/// Legality.  Jamming maps iteration order (k, position) to
+/// (position, k-within-strip), so it is an interchange in disguise and is
+/// illegal when a dependence carried by `loop`
+///   * has a (<,>) pattern against an inner loop, or
+///   * runs from a textually later statement back to an earlier one at a
+///     carried distance smaller than `factor` (the reordered window).
+[[nodiscard]] bool unroll_and_jam_legal(ir::StmtList& root, ir::Loop& loop,
+                                        long factor,
+                                        const analysis::Assumptions* ctx =
+                                            nullptr);
+
+}  // namespace blk::transform

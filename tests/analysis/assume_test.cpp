@@ -1,0 +1,174 @@
+// Tests for the symbolic assumption context and its MIN/MAX case-split
+// proof machinery.
+#include <gtest/gtest.h>
+
+#include "analysis/assume.hpp"
+#include "ir/builder.hpp"
+
+namespace blk::analysis {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+TEST(Assume, ConstantFactsAreDirect) {
+  Assumptions ctx;
+  EXPECT_TRUE(ctx.ge(c(5), c(3)));
+  EXPECT_FALSE(ctx.ge(c(3), c(5)));
+  EXPECT_TRUE(ctx.eq(c(4), c(4)));
+  EXPECT_TRUE(ctx.le(c(3), c(3)));
+}
+
+TEST(Assume, SingleFactChain) {
+  Assumptions ctx;
+  ctx.assert_ge(v("N"), c(10));
+  EXPECT_TRUE(ctx.ge(v("N"), c(10)));
+  EXPECT_TRUE(ctx.ge(v("N"), c(7)));    // N >= 10 >= 7
+  EXPECT_FALSE(ctx.ge(v("N"), c(11)));  // not provable
+  EXPECT_TRUE(ctx.ge(v("N") + 5, c(15)));
+}
+
+TEST(Assume, TwoFactChain) {
+  Assumptions ctx;
+  ctx.assert_le(v("KK"), v("K") + v("KS") - 1);
+  ctx.assert_le(v("K") + v("KS") - 1, v("N") - 1);
+  // KK <= K+KS-1 <= N-1 requires combining both facts.
+  EXPECT_TRUE(ctx.le(v("KK"), v("N") - 1));
+  EXPECT_TRUE(ctx.ge(v("N"), v("KK") + 1));
+}
+
+TEST(Assume, ThreeFactChain) {
+  Assumptions ctx;
+  ctx.assert_ge(v("A"), v("B"));
+  ctx.assert_ge(v("B"), v("C"));
+  ctx.assert_ge(v("C"), v("D"));
+  EXPECT_TRUE(ctx.ge(v("A"), v("D")));
+}
+
+TEST(Assume, UnrelatedFactsDoNotProve) {
+  Assumptions ctx;
+  ctx.assert_ge(v("X"), c(0));
+  ctx.assert_ge(v("Y"), c(0));
+  EXPECT_FALSE(ctx.ge(v("X"), v("Y")));
+}
+
+TEST(Assume, LoopRangeFacts) {
+  Assumptions ctx;
+  Loop loop("I", iadd(ivar("K"), iconst(1)), ivar("N"), iconst(1));
+  ctx.add_loop_range(loop);
+  EXPECT_TRUE(ctx.ge(v("I"), v("K") + 1));
+  EXPECT_TRUE(ctx.le(v("I"), v("N")));
+  EXPECT_TRUE(ctx.ge(v("I"), v("K")));  // weaker consequence
+}
+
+TEST(Assume, MinUpperBoundDecomposes) {
+  Assumptions ctx;
+  Loop loop("KK", ivar("K"),
+            imin(isub(iadd(ivar("K"), ivar("KS")), iconst(1)),
+                 isub(ivar("N"), iconst(1))),
+            iconst(1));
+  ctx.add_loop_range(loop);
+  // KK <= MIN(K+KS-1, N-1) gives both conjuncts.
+  EXPECT_TRUE(ctx.le(v("KK"), v("K") + v("KS") - 1));
+  EXPECT_TRUE(ctx.le(v("KK"), v("N") - 1));
+}
+
+TEST(Assume, MaxLowerBoundDecomposes) {
+  Assumptions ctx;
+  Loop loop("J", imax(iadd(ivar("KK"), iconst(1)), ivar("P")), ivar("N"),
+            iconst(1));
+  ctx.add_loop_range(loop);
+  EXPECT_TRUE(ctx.ge(v("J"), v("KK") + 1));
+  EXPECT_TRUE(ctx.ge(v("J"), v("P")));
+}
+
+TEST(Assume, NonnegExprCaseSplitsGoalMin) {
+  Assumptions ctx;
+  ctx.assert_ge(v("X"), v("A"));
+  ctx.assert_ge(v("X"), v("B"));
+  // X - MIN(A,B) >= 0 needs only one branch each... both hold here.
+  EXPECT_TRUE(ctx.nonneg_expr(isub(v("X"), imin(v("A"), v("B")))));
+  // X - MAX(A,B) >= 0 requires both branches; also provable.
+  EXPECT_TRUE(ctx.nonneg_expr(isub(v("X"), imax(v("A"), v("B")))));
+}
+
+TEST(Assume, NonnegExprFailsWhenOneBranchFails) {
+  Assumptions ctx;
+  ctx.assert_ge(v("X"), v("A"));
+  // X >= MAX(A,B) unprovable without X >= B.
+  EXPECT_FALSE(ctx.nonneg_expr(isub(v("X"), imax(v("A"), v("B")))));
+}
+
+TEST(Assume, RawMinFactCaseSplits) {
+  // J >= MIN(N, K+KS-1)+1 together with KK <= K+KS-1 and KK <= N-1 proves
+  // J > KK: the fact's MIN must be case-split.
+  Assumptions ctx;
+  ctx.assert_ge(v("J"),
+                imin(v("N"), v("K") + v("KS") - 1) + 1);
+  ctx.assert_le(v("KK"), v("K") + v("KS") - 1);
+  ctx.assert_le(v("KK"), v("N") - 1);
+  EXPECT_TRUE(ctx.ge(v("J"), v("KK") + 1));
+}
+
+TEST(Assume, ResolveMinmaxUsesContext) {
+  Assumptions ctx;
+  ctx.assert_le(v("K") + v("KS") - 1, v("N") - 1);
+  IExprPtr e = imin(isub(iadd(ivar("K"), ivar("KS")), iconst(1)),
+                    isub(ivar("N"), iconst(1)));
+  EXPECT_EQ(to_string(ctx.resolve_minmax(e)), "K+KS-1");
+  // MAX resolves to the other side.
+  IExprPtr m = imax(isub(iadd(ivar("K"), ivar("KS")), iconst(1)),
+                    isub(ivar("N"), iconst(1)));
+  EXPECT_EQ(to_string(ctx.resolve_minmax(m)), "N-1");
+}
+
+TEST(Assume, ResolveMinmaxKeepsUnresolvable) {
+  Assumptions ctx;
+  IExprPtr e = imin(ivar("A"), ivar("B"));
+  EXPECT_EQ(to_string(ctx.resolve_minmax(e)), "MIN(A,B)");
+}
+
+TEST(Assume, ResolveMinmaxRecursesThroughArithmetic) {
+  Assumptions ctx;
+  ctx.assert_ge(v("A"), v("B"));
+  IExprPtr e = iadd(imin(ivar("A"), ivar("B")), iconst(1));
+  EXPECT_EQ(to_string(ctx.resolve_minmax(e)), "B+1");
+}
+
+TEST(Assume, EqViaBidirectionalProof) {
+  Assumptions ctx;
+  ctx.assert_ge(v("A"), v("B"));
+  ctx.assert_ge(v("B"), v("A"));
+  EXPECT_TRUE(ctx.eq(v("A"), v("B")));
+}
+
+TEST(Assume, ConstantAssertionsIgnored) {
+  Assumptions ctx;
+  ctx.assert_ge(c(1), c(0));  // carries no information
+  EXPECT_EQ(ctx.fact_count(), 0u);
+}
+
+TEST(Assume, NestedMinMaxFactIsConjunctive) {
+  Assumptions ctx;
+  ctx.assert_le(v("KK"), imin(v("K") + v("KS") - 1, v("N") - 1));
+  // KK <= MIN(a,b) implies KK <= a AND KK <= b (the MIN sits in positive
+  // position in the fact), so both consequences are provable.
+  EXPECT_TRUE(ctx.ge(v("N"), v("KK") + 1));
+  EXPECT_TRUE(ctx.le(v("KK"), v("K") + v("KS") - 1));
+  // But nothing false becomes provable.
+  EXPECT_FALSE(ctx.ge(v("KK"), v("N")));
+}
+
+TEST(Assume, DisjunctiveGoalNeedsOnlyOneBranch) {
+  // J > MIN(a,b) is provable from J > a alone (MIN in negative position).
+  Assumptions ctx;
+  ctx.assert_ge(v("J"), v("A") + 1);
+  EXPECT_TRUE(ctx.ge(v("J"), imin(v("A"), v("B")) + 1));
+  // J > MAX(a,b) needs both.
+  EXPECT_FALSE(ctx.ge(v("J"), imax(v("A"), v("B")) + 1));
+  ctx.assert_ge(v("J"), v("B") + 1);
+  EXPECT_TRUE(ctx.ge(v("J"), imax(v("A"), v("B")) + 1));
+}
+
+}  // namespace
+}  // namespace blk::analysis

@@ -1,0 +1,128 @@
+// Dependence-graph tests: SCC detection and the recurrences that gate
+// distribution.
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hpp"
+#include "ir/builder.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "transform/stripmine.hpp"
+
+namespace blk::analysis {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+TEST(DepGraph, IndependentStatementsFormSingletons) {
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), f(1.0)),
+             assign(lv("B", {v("I")}), f(2.0))));
+  Loop& i = p.body[0]->as_loop();
+  DepGraph g(p.body, i);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.sccs().size(), 2u);
+  EXPECT_FALSE(g.has_recurrence());
+}
+
+TEST(DepGraph, FlowChainIsAcyclicAndOrdered) {
+  // B(I) = A(I); C(I) = B(I): two components, B-def first.
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.array("C", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("B", {v("I")}), a("A", {v("I")})),
+             assign(lv("C", {v("I")}), a("B", {v("I")}))));
+  Loop& i = p.body[0]->as_loop();
+  DepGraph g(p.body, i);
+  ASSERT_EQ(g.sccs().size(), 2u);
+  // Topological order: the B definition's component first.
+  EXPECT_EQ(g.sccs()[0][0], 0u);
+  EXPECT_EQ(g.sccs()[1][0], 1u);
+  EXPECT_FALSE(g.has_recurrence());
+}
+
+TEST(DepGraph, MutualRecurrenceDetected) {
+  // A(I) = B(I-1); B(I) = A(I-1): classic two-statement recurrence.
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = v("N")}});
+  p.array_bounds("B", {{.lb = c(0), .ub = v("N")}});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), a("B", {v("I") - 1})),
+             assign(lv("B", {v("I")}), a("A", {v("I") - 1}))));
+  Loop& i = p.body[0]->as_loop();
+  DepGraph g(p.body, i);
+  EXPECT_EQ(g.sccs().size(), 1u);
+  EXPECT_TRUE(g.has_recurrence());
+  EXPECT_FALSE(g.recurrence_edges().empty());
+}
+
+TEST(DepGraph, CarriedSelfEdgeIsNotARecurrenceForDistribution) {
+  // A(I) = A(I-1): a single statement can always stay in its own loop.
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = v("N")}});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), a("A", {v("I") - 1}))));
+  Loop& i = p.body[0]->as_loop();
+  DepGraph g(p.body, i);
+  EXPECT_FALSE(g.has_recurrence());
+}
+
+TEST(DepGraph, StripMinedLuRecurrence) {
+  // The strip-mined LU body: statements 20-loop and 10-nest form one SCC
+  // (the transformation-preventing recurrence of §5.1).
+  Program p = blk::kernels::lu_point_ir();
+  p.param("KS");
+  Loop& k = p.body[0]->as_loop();
+  Loop& kk = blk::transform::strip_mine(p, k, ivar("KS"));
+  DepGraph g(p.body, kk);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.sccs().size(), 1u);
+  EXPECT_TRUE(g.has_recurrence());
+  // The recurrence edges connect the two nodes both ways.
+  bool fwd = false, bwd = false;
+  for (const auto& e : g.recurrence_edges()) {
+    if (e.from == 0 && e.to == 1) fwd = true;
+    if (e.from == 1 && e.to == 0) bwd = true;
+  }
+  EXPECT_TRUE(fwd);
+  EXPECT_TRUE(bwd);
+}
+
+TEST(DepGraph, InnerLoopNestIsOneNode) {
+  Program p = blk::kernels::lu_point_ir();
+  Loop& k = p.body[0]->as_loop();
+  DepGraph g(p.body, k);
+  EXPECT_EQ(g.num_nodes(), 2u);  // the I loop and the J nest
+}
+
+TEST(DepGraph, LoopIndependentEdgeOrdersComponents) {
+  // Anti dependence within an iteration: A(I)'s read before its write in
+  // the *second* statement forbids putting the write first.
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("B", {v("I")}), a("A", {v("I")})),
+             assign(lv("A", {v("I")}), f(0.0))));
+  Loop& i = p.body[0]->as_loop();
+  DepGraph g(p.body, i);
+  ASSERT_EQ(g.sccs().size(), 2u);
+  EXPECT_EQ(g.sccs()[0][0], 0u);  // reader first
+  bool found_anti = false;
+  for (const auto& e : g.edges())
+    if (e.dep.type == DepType::Anti && e.from == 0 && e.to == 1)
+      found_anti = true;
+  EXPECT_TRUE(found_anti);
+}
+
+}  // namespace
+}  // namespace blk::analysis

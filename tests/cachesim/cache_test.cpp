@@ -1,0 +1,181 @@
+// Cache simulator tests: geometry, LRU policy, and the paper-level claim
+// that blocking cuts misses.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "transform/blocking.hpp"
+
+namespace blk::cachesim {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache({.size_bytes = 1000, .line_bytes = 64, .assoc = 4}),
+               blk::Error);
+  EXPECT_THROW(Cache({.size_bytes = 1024, .line_bytes = 48, .assoc = 4}),
+               blk::Error);
+  EXPECT_THROW(Cache({.size_bytes = 1024, .line_bytes = 64, .assoc = 3}),
+               blk::Error);
+}
+
+TEST(Cache, NumSets) {
+  CacheConfig cfg{.size_bytes = 64 * 1024, .line_bytes = 64, .assoc = 4};
+  EXPECT_EQ(cfg.num_sets(), 256u);
+}
+
+TEST(Cache, SameLineHits) {
+  Cache c({.size_bytes = 1024, .line_bytes = 64, .assoc = 2});
+  EXPECT_FALSE(c.access(0));    // cold miss
+  EXPECT_TRUE(c.access(8));     // same 64B line
+  EXPECT_TRUE(c.access(63));
+  EXPECT_FALSE(c.access(64));   // next line
+  EXPECT_EQ(c.stats().hits, 2u);
+  EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // 2-way, 1 set per this address pattern: lines 0, S, 2S map to set 0.
+  Cache c({.size_bytes = 256, .line_bytes = 64, .assoc = 2});  // 2 sets
+  const std::uint64_t set_stride = 2 * 64;  // same set every 128 bytes
+  EXPECT_FALSE(c.access(0 * set_stride));
+  EXPECT_FALSE(c.access(1 * set_stride));
+  EXPECT_TRUE(c.access(0 * set_stride));   // refresh line 0
+  EXPECT_FALSE(c.access(2 * set_stride));  // evicts line 1 (LRU)
+  EXPECT_TRUE(c.access(0 * set_stride));   // line 0 still resident
+  EXPECT_FALSE(c.access(1 * set_stride));  // line 1 was evicted
+  EXPECT_EQ(c.stats().evictions, 2u);
+}
+
+TEST(Cache, ResetClearsEverything) {
+  Cache c({.size_bytes = 1024, .line_bytes = 64, .assoc = 2});
+  (void)c.access(0);
+  (void)c.access(0);
+  c.reset();
+  EXPECT_EQ(c.stats().accesses, 0u);
+  EXPECT_FALSE(c.access(0));  // cold again
+}
+
+TEST(Cache, MissRatioSequentialScan) {
+  // A sequential scan of doubles misses once per 8 elements (64B lines).
+  Cache c({.size_bytes = 32 * 1024, .line_bytes = 64, .assoc = 4});
+  for (std::uint64_t i = 0; i < 4096; ++i) (void)c.access(i * 8);
+  EXPECT_DOUBLE_EQ(c.stats().miss_ratio(), 1.0 / 8.0);
+}
+
+TEST(Cache, ThrashingStrideMissesAlways) {
+  // Stride = way-size: every access maps to set 0 and the working set
+  // exceeds the associativity -> 100% misses after warmup.
+  Cache c({.size_bytes = 4096, .line_bytes = 64, .assoc = 2});  // 32 sets
+  const std::uint64_t stride = 64 * 32;  // same set
+  for (int rep = 0; rep < 10; ++rep)
+    for (std::uint64_t k = 0; k < 4; ++k) (void)c.access(k * stride);
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(Cache, TraceFnAdapterCounts) {
+  Cache c({.size_bytes = 1024, .line_bytes = 64, .assoc = 2});
+  auto fn = c.trace_fn();
+  fn(0, false);
+  fn(0, true);
+  EXPECT_EQ(c.stats().accesses, 2u);
+}
+
+// The paper's central memory claim on real code: simulate point vs blocked
+// LU through a small cache; the blocked version must miss substantially
+// less.
+TEST(Cache, BlockedLuMissesLessThanPointLu) {
+  Program point = blk::kernels::lu_point_ir();
+  Program blocked = point.clone();
+  blocked.param("KS");
+  analysis::Assumptions hints;
+  hints.assert_le(isub(iadd(ivar("K"), ivar("KS")), iconst(1)),
+                  isub(ivar("N"), iconst(1)));
+  auto res = transform::auto_block(blocked, blocked.body[0]->as_loop(),
+                                   ivar("KS"), hints);
+  ASSERT_TRUE(res.blocked);
+
+  CacheConfig tiny{.size_bytes = 16 * 1024, .line_bytes = 64, .assoc = 4};
+  const long n = 96;  // 96x96 doubles = 72 KB >> 16 KB cache
+  CacheStats sp = simulate(point, {{"N", n}}, tiny);
+  CacheStats sb = simulate(blocked, {{"N", n}, {"KS", 16}}, tiny);
+  EXPECT_EQ(sp.accesses, sb.accesses);  // same work, different order
+  EXPECT_LT(static_cast<double>(sb.misses),
+            0.7 * static_cast<double>(sp.misses))
+      << "point misses " << sp.misses << " vs blocked " << sb.misses;
+}
+
+TEST(Cache, SummaryMentionsGeometry) {
+  CacheConfig cfg{.size_bytes = 64 * 1024, .line_bytes = 64, .assoc = 4};
+  CacheStats st{.accesses = 100, .hits = 90, .misses = 10, .evictions = 0};
+  std::string s = summary(cfg, st);
+  EXPECT_NE(s.find("64KB/64B/4-way"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace blk::cachesim
+
+namespace blk::cachesim {
+namespace {
+
+TEST(Hierarchy, RequiresAtLeastOneLevel) {
+  EXPECT_THROW(Hierarchy({}), blk::Error);
+}
+
+TEST(Hierarchy, AccessDescendsOnMiss) {
+  Hierarchy h({{.size_bytes = 256, .line_bytes = 64, .assoc = 2},
+               {.size_bytes = 4096, .line_bytes = 64, .assoc = 4}});
+  EXPECT_EQ(h.access(0), 2u);   // cold: misses both -> memory
+  EXPECT_EQ(h.access(0), 0u);   // L1 hit
+  // Evict line 0 from tiny L1 (4 lines) with conflicting fills.
+  for (std::uint64_t i = 1; i <= 8; ++i) (void)h.access(i * 128);
+  EXPECT_EQ(h.access(0), 1u);   // gone from L1, still in L2
+}
+
+TEST(Hierarchy, AmatAccountsMissesPerLevel) {
+  Hierarchy h({{.size_bytes = 256, .line_bytes = 64, .assoc = 2},
+               {.size_bytes = 4096, .line_bytes = 64, .assoc = 4}});
+  (void)h.access(0);            // miss, miss
+  (void)h.access(0);            // L1 hit
+  const double lat[] = {1.0, 10.0, 100.0};
+  // 2 accesses * 1 + 1 L1 miss * 10 + 1 L2 miss * 100 = 112 -> /2 = 56.
+  EXPECT_DOUBLE_EQ(h.amat(lat), 56.0);
+  const double bad[] = {1.0, 10.0};
+  EXPECT_THROW((void)h.amat(bad), blk::Error);
+}
+
+TEST(Hierarchy, ResetRestoresColdState) {
+  Hierarchy h({{.size_bytes = 256, .line_bytes = 64, .assoc = 2},
+               {.size_bytes = 4096, .line_bytes = 64, .assoc = 4}});
+  (void)h.access(0);
+  h.reset();
+  EXPECT_EQ(h.access(0), 2u);
+  EXPECT_EQ(h.stats(0).accesses, 1u);
+}
+
+TEST(Hierarchy, BlockedLuLowersAmat) {
+  Program point = blk::kernels::lu_point_ir();
+  Program blocked = point.clone();
+  blocked.param("KS");
+  analysis::Assumptions hints;
+  hints.assert_le(isub(iadd(ivar("K"), ivar("KS")), iconst(1)),
+                  isub(ivar("N"), iconst(1)));
+  (void)transform::auto_block(blocked, blocked.body[0]->as_loop(),
+                              ivar("KS"), hints);
+  std::vector<CacheConfig> lvls{
+      {.size_bytes = 8 * 1024, .line_bytes = 64, .assoc = 4},
+      {.size_bytes = 64 * 1024, .line_bytes = 64, .assoc = 8}};
+  const long n = 96;
+  auto sp = simulate_hierarchy(point, {{"N", n}}, lvls);
+  auto sb = simulate_hierarchy(blocked, {{"N", n}, {"KS", 16}}, lvls);
+  // Fewer misses at both levels for the blocked version.
+  EXPECT_LT(sb[0].misses, sp[0].misses);
+  EXPECT_LT(sb[1].misses, sp[1].misses);
+}
+
+}  // namespace
+}  // namespace blk::cachesim

@@ -1,0 +1,182 @@
+// Property-based fuzzing: generate random loop nests, apply random
+// sequences of (legality-checked) transformations, and require bitwise
+// interpreter equivalence with the original.  Any divergence is a
+// correctness bug in a transformation or in the dependence analysis that
+// approved it.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "interp/interp.hpp"
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "ir/validate.hpp"
+#include "testutil.hpp"
+#include "transform/blocking.hpp"
+#include "transform/distribute.hpp"
+#include "transform/fuse.hpp"
+#include "transform/interchange.hpp"
+#include "transform/scalarrepl.hpp"
+#include "transform/split.hpp"
+#include "transform/stripmine.hpp"
+#include "transform/unrolljam.hpp"
+
+namespace blk {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+using namespace blk::transform;
+
+constexpr long kPad = 96;  // array bounds ample for every subscript below
+
+struct Gen {
+  std::mt19937_64 rng;
+
+  explicit Gen(std::uint64_t seed) : rng(seed) {}
+
+  long pick(long lo, long hi) {
+    return std::uniform_int_distribution<long>(lo, hi)(rng);
+  }
+  bool coin(double p = 0.5) {
+    return std::uniform_real_distribution<double>(0, 1)(rng) < p;
+  }
+
+  /// Affine subscript over the in-scope loop variables.
+  IExprPtr subscript(const std::vector<std::string>& vars) {
+    IExprPtr e = iconst(pick(-4, 4));
+    for (const auto& v : vars)
+      if (coin(0.7)) {
+        long k = pick(-2, 2);
+        if (k != 0) e = iadd(std::move(e), imul(iconst(k), ivar(v)));
+      }
+    return simplify(e);
+  }
+
+  /// One assignment touching A (2-D) and B (1-D), occasionally guarded by
+  /// a data-dependent IF or routed through the scalar T.
+  StmtPtr statement(const std::vector<std::string>& vars) {
+    VExprPtr rhs = a("A", {subscript(vars), subscript(vars)});
+    if (coin()) rhs = rhs + a("B", {subscript(vars)});
+    if (coin(0.3)) rhs = rhs * f(0.5);
+    if (coin(0.15)) rhs = rhs + s("T");
+    StmtPtr st = assign(lv("A", {subscript(vars), subscript(vars)}),
+                        std::move(rhs));
+    if (coin(0.2)) {
+      StmtList guarded;
+      guarded.push_back(std::move(st));
+      return make_if({.lhs = a("B", {subscript(vars)}),
+                      .op = CmpOp::GT,
+                      .rhs = vconst(0.0)},
+                     std::move(guarded));
+    }
+    return st;
+  }
+
+  /// Random 2- or 3-deep nest (possibly triangular), body of 1-2 stmts.
+  Program program() {
+    Program p;
+    p.param("N");
+    p.array_bounds("A", {{.lb = iconst(-kPad), .ub = iconst(kPad)},
+                         {.lb = iconst(-kPad), .ub = iconst(kPad)}});
+    p.array_bounds("B", {{.lb = iconst(-kPad), .ub = iconst(kPad)}});
+    p.scalar("T");
+    int depth = static_cast<int>(pick(2, 3));
+    std::vector<std::string> vars;
+    const char* names[] = {"I", "J", "K"};
+    StmtList innermost;
+    for (int d = 0; d < depth; ++d) vars.push_back(names[d]);
+    innermost.push_back(statement(vars));
+    if (coin(0.4)) innermost.push_back(statement(vars));
+
+    // Build inside out.
+    StmtList body = std::move(innermost);
+    for (int d = depth - 1; d >= 0; --d) {
+      IExprPtr lb = iconst(1);
+      IExprPtr ub = ivar("N");
+      if (d > 0 && coin(0.4)) lb = iadd(ivar(names[d - 1]), iconst(pick(0, 2)));
+      if (d > 0 && coin(0.3)) ub = imin(ivar("N"), iadd(ivar(names[d - 1]), iconst(pick(1, 4))));
+      StmtList wrapped;
+      wrapped.push_back(
+          make_loop(names[d], std::move(lb), std::move(ub), std::move(body)));
+      body = std::move(wrapped);
+    }
+    for (auto& s : body) p.add(std::move(s));
+    return p;
+  }
+
+  /// Apply up to `n` random transformations; illegal requests throw and
+  /// are skipped (that is the legality system doing its job).
+  void mutate(Program& p, int n) {
+    for (int i = 0; i < n; ++i) {
+      std::vector<Loop*> loops;
+      for_each_stmt(p.body, [&](Stmt& s) {
+        if (s.kind() == SKind::Loop) loops.push_back(&s.as_loop());
+      });
+      if (loops.empty()) return;
+      Loop* l = loops[static_cast<std::size_t>(
+          pick(0, static_cast<long>(loops.size()) - 1))];
+      try {
+        switch (pick(0, 7)) {
+          case 0:
+            if (l->step->kind == IKind::Const && l->step->value == 1)
+              strip_mine(p, *l, iconst(pick(2, 5)));
+            break;
+          case 1:
+            split_at(p.body, *l, iconst(pick(-2, 14)));
+            break;
+          case 2:
+            interchange(p.body, *l);
+            break;
+          case 3:
+            if (l->step->kind == IKind::Const && l->step->value == 1)
+              unroll_and_jam(p.body, *l, pick(2, 3));
+            break;
+          case 4:
+            distribute(p.body, *l);
+            break;
+          case 5:
+            normalize_loop(p.body, *l, 0);
+            break;
+          case 6:
+            (void)fuse(p.body, *l);
+            break;
+          case 7:
+            reverse_loop(p.body, *l);
+            break;
+        }
+      } catch (const blk::Error&) {
+        // Precondition or legality refused: fine, try something else.
+      }
+    }
+  }
+};
+
+class TransformFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformFuzz, RandomSequencesPreserveSemantics) {
+  Gen gen(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+  for (int round = 0; round < 6; ++round) {
+    Program original = gen.program();
+    Program mutated = original.clone();
+    gen.mutate(mutated, 5);
+    // Structural invariants must survive every transformation sequence.
+    ASSERT_TRUE(validate(mutated).empty())
+        << validate(mutated).front() << "\n" << print(mutated.body);
+    for (long n : {1L, 4L, 9L, 12L}) {
+      double d =
+          test::run_and_diff(original, mutated, {{"N", n}}, 1234);
+      EXPECT_EQ(d, 0.0) << "seed " << GetParam() << " round " << round
+                        << " N=" << n << "\n--- original ---\n"
+                        << print(original.body) << "--- mutated ---\n"
+                        << print(mutated.body);
+      if (d != 0.0) return;  // one reproducer is enough
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformFuzz, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace blk

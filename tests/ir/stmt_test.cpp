@@ -1,0 +1,191 @@
+// Unit tests for statements, traversal utilities, and the printer.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+
+namespace blk::ir {
+namespace {
+
+using namespace blk::ir::dsl;
+
+Program small_nest() {
+  Program p;
+  p.param("N");
+  p.array("A", {v("N"), v("N")});
+  p.add(loop("J", c(1), v("N"),
+             loop("I", c(1), v("N"),
+                  assign(lv("A", {v("I"), v("J")}),
+                         a("A", {v("I"), v("J")}) + f(1.0), 10))));
+  return p;
+}
+
+TEST(Stmt, KindAccessorsThrowOnMismatch) {
+  StmtPtr s = assign(lvs("X"), f(1.0));
+  EXPECT_THROW((void)s->as_loop(), Error);
+  EXPECT_THROW((void)s->as_if(), Error);
+  EXPECT_NO_THROW((void)s->as_assign());
+}
+
+TEST(Stmt, CloneIsDeep) {
+  Program p = small_nest();
+  Program q = p.clone();
+  // Mutating the clone must not affect the original.
+  q.body[0]->as_loop().body[0]->as_loop().ub = c(5);
+  EXPECT_EQ(to_string(p.body[0]->as_loop().body[0]->as_loop().ub), "N");
+  EXPECT_EQ(print(p.body), print(small_nest().body));
+}
+
+TEST(Stmt, FindLoopLocatesNested) {
+  Program p = small_nest();
+  auto loc = find_loop(p.body, "I");
+  ASSERT_TRUE(loc);
+  EXPECT_EQ(loc.loop->var, "I");
+  EXPECT_EQ(loc.index, 0u);
+  EXPECT_FALSE(find_loop(p.body, "Z"));
+}
+
+TEST(Stmt, EnclosingLoopsOrdersOutermostFirst) {
+  Program p = kernels::lu_point_ir();
+  Loop& k = p.body[0]->as_loop();
+  Loop& j = k.body[1]->as_loop();
+  Loop& i = j.body[0]->as_loop();
+  Stmt& update = *i.body[0];
+  auto chain = enclosing_loops(p.body, update);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0]->var, "K");
+  EXPECT_EQ(chain[1]->var, "J");
+  EXPECT_EQ(chain[2]->var, "I");
+}
+
+TEST(Stmt, EnclosingLoopsThrowsForForeignStatement) {
+  Program p = small_nest();
+  StmtPtr orphan = assign(lvs("X"), f(0.0));
+  EXPECT_THROW((void)enclosing_loops(p.body, *orphan), Error);
+}
+
+TEST(Stmt, ForEachStmtVisitsAll) {
+  Program p = kernels::lu_point_ir();
+  int loops = 0, assigns = 0;
+  for_each_stmt(p.body, [&](Stmt& s) {
+    if (s.kind() == SKind::Loop) ++loops;
+    if (s.kind() == SKind::Assign) ++assigns;
+  });
+  EXPECT_EQ(loops, 4);    // K, I(scale), J, I(update)
+  EXPECT_EQ(assigns, 2);  // statements 20 and 10
+}
+
+TEST(Stmt, RenameLoopVarSubstitutesBody) {
+  Program p = small_nest();
+  Loop& inner = p.body[0]->as_loop().body[0]->as_loop();
+  rename_loop_var(inner, "II");
+  EXPECT_EQ(inner.var, "II");
+  EXPECT_NE(print(p.body).find("A(II,J)"), std::string::npos);
+}
+
+TEST(Stmt, SubstituteThrowsOnShadowing) {
+  Program p = small_nest();
+  EXPECT_THROW(substitute_index_in_list(p.body, "J", ivar("X")), Error);
+  // Substituting inside the J loop's body where I is bound also throws
+  // for I, but J is fine from inside.
+  Loop& jloop = p.body[0]->as_loop();
+  EXPECT_NO_THROW(substitute_index_in_list(jloop.body, "J", iconst(3)));
+}
+
+TEST(Stmt, ConstStepAccessor) {
+  Program p = small_nest();
+  EXPECT_EQ(p.body[0]->as_loop().const_step(), 1);
+  p.body[0]->as_loop().step = ivar("KS");
+  EXPECT_THROW((void)p.body[0]->as_loop().const_step(), Error);
+}
+
+TEST(Program, DuplicateDeclarationsRejected) {
+  Program p;
+  p.param("N");
+  p.array("A", {ivar("N")});
+  EXPECT_THROW(p.array("A", {ivar("N")}), Error);
+  EXPECT_THROW(p.scalar("A"), Error);
+  p.scalar("T");
+  EXPECT_THROW(p.array("T", {ivar("N")}), Error);
+}
+
+TEST(Program, FreshVarDoublesName) {
+  Program p = small_nest();
+  EXPECT_EQ(p.fresh_var("K"), "KK");
+  // J is a used loop variable: JJ free, but if JJ exists, a suffix appears.
+  EXPECT_EQ(p.fresh_var("J"), "JJ");
+  p.scalar("JJ");
+  EXPECT_EQ(p.fresh_var("J"), "JJ2");
+}
+
+TEST(Printer, LuPointGolden) {
+  Program p = kernels::lu_point_ir();
+  EXPECT_EQ(print(p.body),
+            "DO K = 1, N-1\n"
+            "  DO I = K+1, N\n"
+            "    20: A(I,K) = A(I,K)/A(K,K)\n"
+            "  ENDDO\n"
+            "  DO J = K+1, N\n"
+            "    DO I = K+1, N\n"
+            "      10: A(I,J) = A(I,J) - A(I,K)*A(K,J)\n"
+            "    ENDDO\n"
+            "  ENDDO\n"
+            "ENDDO\n");
+}
+
+TEST(Printer, IfAndStepAndDeclarations) {
+  Program p;
+  p.param("N");
+  p.array_bounds("F", {{.lb = iconst(0), .ub = ivar("N")}});
+  p.scalar("T");
+  using namespace dsl;
+  p.add(loop_step("I", c(0), v("N"), c(2),
+                  when(cmp(a("F", {v("I")}), CmpOp::GT, f(0.0)),
+                       assign(lvs("T"), a("F", {v("I")})))));
+  std::string out = print(p);
+  EXPECT_NE(out.find("REAL*8 F(0:N)"), std::string::npos);
+  EXPECT_NE(out.find("DO I = 0, N, 2"), std::string::npos);
+  EXPECT_NE(out.find("IF (F(I) .GT. 0) THEN"), std::string::npos);
+}
+
+TEST(Printer, ElseBranch) {
+  Program p;
+  p.scalar("X");
+  using namespace dsl;
+  StmtList then_body;
+  then_body.push_back(assign(lvs("X"), f(1.0)));
+  StmtList else_body;
+  else_body.push_back(assign(lvs("X"), f(2.0)));
+  p.add(make_if({.lhs = s("X"), .op = CmpOp::LT, .rhs = f(0.0)},
+                std::move(then_body), std::move(else_body)));
+  std::string out = print(p.body);
+  EXPECT_NE(out.find("ELSE\n"), std::string::npos);
+}
+
+TEST(VExpr, SameVexprStructural) {
+  using namespace dsl;
+  VExprPtr x = a("A", {v("I"), iadd(v("K"), iconst(1))});
+  VExprPtr y = a("A", {v("I"), iadd(iconst(1), v("K"))});
+  EXPECT_TRUE(same_vexpr(*x, *y));  // subscripts compared symbolically
+  VExprPtr z = a("A", {v("I"), v("K")});
+  EXPECT_FALSE(same_vexpr(*x, *z));
+}
+
+TEST(VExpr, SubstituteScalar) {
+  using namespace dsl;
+  VExprPtr e = s("C") * s("A1") + s("S") * s("A2");
+  VExprPtr r = substitute_scalar(e, "C", a("CX", {v("J")}));
+  EXPECT_EQ(to_string(*r), "CX(J)*A1 + S*A2");
+}
+
+TEST(VExpr, MentionsIndex) {
+  using namespace dsl;
+  VExprPtr e = a("A", {v("I"), v("J")}) * s("T");
+  EXPECT_TRUE(mentions_index(*e, "I"));
+  EXPECT_FALSE(mentions_index(*e, "K"));
+}
+
+}  // namespace
+}  // namespace blk::ir

@@ -1,0 +1,111 @@
+// Convolution kernel tests: the optimized variants must match the point
+// forms (§3.2's table T1 subjects).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/conv.hpp"
+
+namespace blk::kernels {
+namespace {
+
+[[nodiscard]] double max_diff(const Signal& a, const Signal& b) {
+  double m = 0.0;
+  auto fa = a.flat();
+  auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i)
+    m = std::max(m, std::fabs(fa[i] - fb[i]));
+  return m;
+}
+
+class ConvSizes : public ::testing::TestWithParam<long> {};
+
+TEST_P(ConvSizes, AconvOptMatchesPoint) {
+  const long size = GetParam();
+  ConvProblem a = ConvProblem::make_aconv(size, 5);
+  ConvProblem b = ConvProblem::make_aconv(size, 5);
+  aconv_point(a);
+  aconv_opt(b);
+  EXPECT_LE(max_diff(a.f3, b.f3), 1e-12) << "size " << size;
+}
+
+TEST_P(ConvSizes, ConvOptMatchesPoint) {
+  const long size = GetParam();
+  ConvProblem a = ConvProblem::make_conv(size, 6);
+  ConvProblem b = ConvProblem::make_conv(size, 6);
+  conv_point(a);
+  conv_opt(b);
+  EXPECT_LE(max_diff(a.f3, b.f3), 1e-12) << "size " << size;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ConvSizes,
+                         ::testing::Values(2L, 3L, 5L, 8L, 17L, 64L, 300L,
+                                           500L));
+
+TEST(Conv, ProblemGeometry) {
+  ConvProblem p = ConvProblem::make_aconv(300, 1);
+  EXPECT_EQ(p.n3, 299);
+  EXPECT_EQ(p.n1, 299);
+  EXPECT_EQ(p.n2, 6 * 299 / 7);
+  EXPECT_EQ(p.f2.lower(), -p.n2);
+  EXPECT_EQ(p.f2.upper(), 0);
+  ConvProblem q = ConvProblem::make_conv(300, 1);
+  EXPECT_EQ(q.f2.lower(), 0);
+  EXPECT_EQ(q.f2.upper(), q.n2);
+}
+
+TEST(Conv, TriangularWorkFractionNearPaperSetting) {
+  // The paper: "75% of the execution in the triangular regions".
+  ConvProblem p = ConvProblem::make_aconv(500, 2);
+  double rect = 0, tri = 0;
+  for (long i = 0; i <= p.n3; ++i) {
+    long khi = std::min(i + p.n2, p.n1);
+    double w = static_cast<double>(khi - i + 1);
+    if (i + p.n2 <= p.n1)
+      rect += w;
+    else
+      tri += w;
+  }
+  double frac = tri / (tri + rect);
+  EXPECT_GT(frac, 0.65);
+  EXPECT_LT(frac, 0.85);
+}
+
+TEST(Conv, AccumulatesOntoExistingOutput) {
+  // F3 is updated, not overwritten: running twice doubles the increment.
+  ConvProblem p = ConvProblem::make_conv(40, 7);
+  Signal before = p.f3;
+  conv_point(p);
+  Signal once = p.f3;
+  conv_point(p);
+  for (long i = 0; i <= p.n3; ++i) {
+    double inc = once[i] - before[i];
+    EXPECT_NEAR(p.f3[i], once[i] + inc, 1e-9 * (1.0 + std::fabs(once[i])));
+  }
+}
+
+TEST(Conv, DtScalesLinearly) {
+  ConvProblem a = ConvProblem::make_aconv(50, 8);
+  ConvProblem b = ConvProblem::make_aconv(50, 8);
+  for (double& x : a.f3.flat()) x = 0.0;
+  for (double& x : b.f3.flat()) x = 0.0;
+  b.dt = 2.0 * a.dt;
+  aconv_point(a);
+  aconv_point(b);
+  for (long i = 0; i <= a.n3; ++i)
+    EXPECT_NEAR(b.f3[i], 2.0 * a.f3[i], 1e-9 * (1.0 + std::fabs(a.f3[i])));
+}
+
+TEST(Conv, TinySizesExerciseEdgeLoops) {
+  // size 2-4: the unrolled main loop barely runs; heads/tails dominate.
+  for (long size : {2L, 3L, 4L}) {
+    ConvProblem a = ConvProblem::make_aconv(size, 9);
+    ConvProblem b = ConvProblem::make_aconv(size, 9);
+    aconv_point(a);
+    aconv_opt(b);
+    EXPECT_LE(max_diff(a.f3, b.f3), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace blk::kernels

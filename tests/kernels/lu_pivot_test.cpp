@@ -1,0 +1,96 @@
+// LU with partial pivoting kernel tests (§5.2's table T4 subjects).
+#include <gtest/gtest.h>
+
+#include "kernels/lu_pivot.hpp"
+
+namespace blk::kernels {
+namespace {
+
+class LuPivotVariants
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(LuPivotVariants, BlockVariantsMatchPoint) {
+  auto [n, ks] = GetParam();
+  Matrix a0(n, n);
+  fill_random(a0, 61);  // general matrices: pivoting handles them
+  Matrix p = a0, b = a0, o = a0;
+  std::vector<std::size_t> pp, pb, po;
+  lu_pivot_point(p, pp);
+  lu_pivot_block(b, pb, ks);
+  lu_pivot_block_opt(o, po, ks);
+  // Same pivots (the panel is fully updated before each pivot search)...
+  EXPECT_EQ(pp, pb);
+  EXPECT_EQ(pp, po);
+  // ...and same factors.
+  const double tol = 1e-10 * static_cast<double>(n);
+  EXPECT_LE(max_abs_diff(p, b), tol);
+  EXPECT_LE(max_abs_diff(p, o), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LuPivotVariants,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{6}, std::size_t{19},
+                                         std::size_t{40}, std::size_t{65}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{8}, std::size_t{32})));
+
+TEST(LuPivot, ResidualAgainstPermutedOriginal) {
+  const std::size_t n = 50;
+  Matrix a0(n, n);
+  fill_random(a0, 62);
+  Matrix f = a0;
+  std::vector<std::size_t> piv;
+  lu_pivot_point(f, piv);
+  EXPECT_LE(lu_pivot_residual(f, piv, a0), 1e-12 * static_cast<double>(n));
+  Matrix g = a0;
+  std::vector<std::size_t> piv2;
+  lu_pivot_block_opt(g, piv2, 16);
+  EXPECT_LE(lu_pivot_residual(g, piv2, a0), 1e-12 * static_cast<double>(n));
+}
+
+TEST(LuPivot, PivotingActuallyPivots) {
+  // A matrix with a tiny leading pivot must swap.
+  Matrix a(3, 3);
+  a(0, 0) = 1e-12;
+  a(1, 0) = 2.0;
+  a(2, 0) = -1.0;
+  a(0, 1) = 1.0;
+  a(1, 1) = 1.0;
+  a(2, 1) = 3.0;
+  a(0, 2) = 2.0;
+  a(1, 2) = 1.0;
+  a(2, 2) = 1.0;
+  std::vector<std::size_t> piv;
+  lu_pivot_point(a, piv);
+  EXPECT_EQ(piv[0], 1u);  // |2.0| is the largest in column 0
+  // All multipliers bounded by 1 in magnitude: the point of pivoting.
+  for (std::size_t j = 0; j < 3; ++j)
+    for (std::size_t i = j + 1; i < 3; ++i)
+      EXPECT_LE(std::abs(a(i, j)), 1.0 + 1e-12);
+}
+
+TEST(LuPivot, MultipliersBoundedForRandomMatrix) {
+  const std::size_t n = 40;
+  Matrix a(n, n);
+  fill_random(a, 63);
+  std::vector<std::size_t> piv;
+  lu_pivot_block(a, piv, 8);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t i = j + 1; i < n; ++i)
+      EXPECT_LE(std::abs(a(i, j)), 1.0 + 1e-12);
+}
+
+TEST(LuPivot, SingularLikeColumnsStillTerminate) {
+  // A column of zeros below the diagonal: pivot = diagonal, no swap.
+  Matrix a(4, 4);
+  for (std::size_t j = 0; j < 4; ++j)
+    for (std::size_t i = 0; i < 4; ++i) a(i, j) = (i <= j) ? 1.0 : 0.0;
+  std::vector<std::size_t> piv;
+  EXPECT_NO_THROW(lu_pivot_point(a, piv));
+  for (std::size_t k = 0; k + 1 < 4; ++k) EXPECT_EQ(piv[k], k);
+}
+
+}  // namespace
+}  // namespace blk::kernels

@@ -1,0 +1,118 @@
+// Guarded-matmul kernel tests (§4's table T2 subjects).
+#include <gtest/gtest.h>
+
+#include "kernels/matmul.hpp"
+
+namespace blk::kernels {
+namespace {
+
+/// Dense reference: C += A * B.
+void reference(const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t n = a.rows();
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t i = 0; i < n; ++i)
+        c(i, j) += a(i, k) * b(k, j);
+}
+
+class GuardedMatmul
+    : public ::testing::TestWithParam<std::tuple<double, std::size_t>> {};
+
+TEST_P(GuardedMatmul, AllVariantsAgree) {
+  auto [freq, run_len] = GetParam();
+  const std::size_t n = 48;
+  Matrix a(n, n);
+  fill_random(a, 11);
+  Matrix b = make_guard_matrix(n, freq, run_len, 12);
+
+  Matrix c0(n, n), c1(n, n), c2(n, n), c3(n, n);
+  fill_random(c0, 13);
+  c1 = c0;
+  c2 = c0;
+  c3 = c0;
+
+  reference(a, b, c0);
+  matmul_guarded(a, b, c1);
+  matmul_uj_guard_inside(a, b, c2);
+  matmul_uj_ifinspect(a, b, c3);
+
+  EXPECT_LE(max_abs_diff(c0, c1), 1e-11);
+  EXPECT_LE(max_abs_diff(c0, c2), 1e-11);
+  EXPECT_LE(max_abs_diff(c0, c3), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GuardedMatmul,
+    ::testing::Combine(::testing::Values(0.0, 0.025, 0.1, 0.5, 1.0),
+                       ::testing::Values(std::size_t{1}, std::size_t{8},
+                                         std::size_t{32})));
+
+TEST(GuardMatrix, DensityApproximatesFrequency) {
+  const std::size_t n = 512;
+  for (double freq : {0.025, 0.1, 0.3}) {
+    Matrix b = make_guard_matrix(n, freq, 8, 21);
+    std::size_t nz = 0;
+    for (double x : b.flat())
+      if (x != 0.0) ++nz;
+    double density = static_cast<double>(nz) / static_cast<double>(n * n);
+    EXPECT_NEAR(density, freq, freq * 0.35) << "freq " << freq;
+  }
+}
+
+TEST(GuardMatrix, RunLengthProducesRuns) {
+  const std::size_t n = 256;
+  Matrix b = make_guard_matrix(n, 0.2, 8, 22);
+  // Count maximal runs; with run_len 8 the average run must be well over 1.
+  std::size_t runs = 0, nz = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    bool open = false;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (b(k, j) != 0.0) {
+        ++nz;
+        if (!open) {
+          ++runs;
+          open = true;
+        }
+      } else {
+        open = false;
+      }
+    }
+  }
+  ASSERT_GT(runs, 0u);
+  EXPECT_GT(static_cast<double>(nz) / static_cast<double>(runs), 4.0);
+}
+
+TEST(GuardedMatmul, AllZeroGuardDoesNothing) {
+  const std::size_t n = 16;
+  Matrix a(n, n);
+  fill_random(a, 31);
+  Matrix b(n, n);  // zero
+  Matrix c(n, n);
+  fill_random(c, 32);
+  Matrix before = c;
+  matmul_guarded(a, b, c);
+  EXPECT_EQ(max_abs_diff(before, c), 0.0);
+  matmul_uj_ifinspect(a, b, c);
+  EXPECT_EQ(max_abs_diff(before, c), 0.0);
+}
+
+TEST(GuardedMatmul, RemainderColumnsHandled) {
+  // n not divisible by the unroll factor: K remainder paths execute.
+  for (std::size_t n : {5u, 7u, 9u, 13u}) {
+    Matrix a(n, n);
+    fill_random(a, 41);
+    Matrix b = make_guard_matrix(n, 1.0, 1, 42);  // fully dense
+    Matrix c0(n, n), c1(n, n);
+    reference(a, b, c0);
+    matmul_uj_ifinspect(a, b, c1);
+    EXPECT_LE(max_abs_diff(c0, c1), 1e-12) << n;
+  }
+}
+
+TEST(GuardedMatmul, IfInspectRejectsUnsupportedUnroll) {
+  Matrix a(4, 4), b(4, 4), c(4, 4);
+  EXPECT_THROW(matmul_uj_ifinspect(a, b, c, 2), Error);
+}
+
+}  // namespace
+}  // namespace blk::kernels

@@ -1,0 +1,134 @@
+// QR kernel tests: Givens (§5.4, table T5) and Householder (§5.3).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/qr_givens.hpp"
+#include "kernels/qr_householder.hpp"
+
+namespace blk::kernels {
+namespace {
+
+class GivensShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(GivensShapes, OptimizedMatchesPoint) {
+  auto [m, n] = GetParam();
+  Matrix a0(m, n);
+  fill_random(a0, 71);
+  Matrix p = a0, o = a0;
+  givens_qr_point(p);
+  givens_qr_opt(o);
+  // Identical rotation sequence => identical R (up to roundoff noise from
+  // the different accumulation orders in row L).
+  EXPECT_LE(givens_residual(o, p), 1e-10)
+      << "m=" << m << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GivensShapes,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{16}, std::size_t{33},
+                                         std::size_t{64}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{16}, std::size_t{32})));
+
+TEST(Givens, ZerosBelowDiagonal) {
+  Matrix a(20, 12);
+  fill_random(a, 72);
+  givens_qr_point(a);
+  for (std::size_t j = 0; j < a.cols(); ++j)
+    for (std::size_t i = j + 1; i < a.rows(); ++i)
+      EXPECT_NEAR(a(i, j), 0.0, 1e-12) << i << "," << j;
+  Matrix b(20, 12);
+  fill_random(b, 72);
+  givens_qr_opt(b);
+  for (std::size_t j = 0; j < b.cols(); ++j)
+    for (std::size_t i = j + 1; i < b.rows(); ++i)
+      EXPECT_NEAR(b(i, j), 0.0, 1e-12);
+}
+
+TEST(Givens, PreservesColumnGram) {
+  // Orthogonal transforms preserve A^T A; check against the R factor.
+  Matrix a0(24, 10);
+  fill_random(a0, 73);
+  Matrix r = a0;
+  givens_qr_opt(r);
+  EXPECT_LE(qr_gram_residual(r, a0), 1e-10);
+}
+
+TEST(Givens, SparseColumnSkipsRotations) {
+  // Zeros below the diagonal in column 0: the guard must skip them and the
+  // result must equal the dense path's (which sees the same zeros).
+  Matrix a(16, 8);
+  fill_random(a, 74);
+  for (std::size_t i = 1; i < 16; i += 2) a(i, 0) = 0.0;
+  Matrix b = a;
+  givens_qr_point(a);
+  givens_qr_opt(b);
+  EXPECT_LE(givens_residual(b, a), 1e-11);
+}
+
+class HouseholderShapes
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(HouseholderShapes, BlockMatchesPoint) {
+  auto [m, ks] = GetParam();
+  const std::size_t n = m >= 8 ? m - 3 : m;
+  Matrix a0(m, n);
+  fill_random(a0, 75);
+  Matrix p = a0, b = a0;
+  std::vector<double> taup, taub;
+  householder_qr_point(p, taup);
+  householder_qr_block(b, taub, ks);
+  // The reflectors are identical; the blocked application reassociates the
+  // trailing update, so compare with a roundoff tolerance.
+  const double tol = 1e-10 * static_cast<double>(m);
+  EXPECT_LE(max_abs_diff(p, b), tol) << "m=" << m << " ks=" << ks;
+  for (std::size_t k = 0; k < taup.size(); ++k)
+    EXPECT_NEAR(taup[k], taub[k], 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, HouseholderShapes,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{5},
+                                         std::size_t{16}, std::size_t{30},
+                                         std::size_t{64}),
+                       ::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{8}, std::size_t{32})));
+
+TEST(Householder, GramPreserved) {
+  Matrix a0(40, 24);
+  fill_random(a0, 76);
+  Matrix f = a0;
+  std::vector<double> tau;
+  householder_qr_block(f, tau, 8);
+  EXPECT_LE(qr_gram_residual(f, a0), 1e-9);
+}
+
+TEST(Householder, RDiagonalSignConvention) {
+  // beta = -sign(alpha)*norm: R(0,0) opposes the sign of A(0,0).
+  Matrix a(8, 4);
+  fill_random(a, 77);
+  a(0, 0) = 3.0;
+  Matrix f = a;
+  std::vector<double> tau;
+  householder_qr_point(f, tau);
+  EXPECT_LT(f(0, 0), 0.0);
+}
+
+TEST(Householder, ZeroColumnGetsZeroTau) {
+  Matrix a(6, 3);
+  fill_random(a, 78);
+  for (std::size_t i = 1; i < 6; ++i) a(i, 0) = 0.0;  // already reduced
+  Matrix f = a;
+  std::vector<double> tau;
+  householder_qr_point(f, tau);
+  EXPECT_EQ(tau[0], 0.0);
+  EXPECT_EQ(f(0, 0), a(0, 0));
+}
+
+}  // namespace
+}  // namespace blk::kernels

@@ -1,0 +1,101 @@
+// Lexer tests for the mini-Fortran front end.
+#include <gtest/gtest.h>
+
+#include "ir/error.hpp"
+#include "lang/lexer.hpp"
+
+namespace blk::lang {
+namespace {
+
+std::vector<Tok> kinds(std::string_view src) {
+  std::vector<Tok> out;
+  for (const auto& t : lex(src)) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, SimpleAssignment) {
+  auto toks = lex("A(I,J) = A(I,J) + 1.5");
+  ASSERT_GE(toks.size(), 13u);
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "A");
+  EXPECT_EQ(toks[1].kind, Tok::LParen);
+  EXPECT_EQ(toks[3].kind, Tok::Comma);
+  EXPECT_EQ(toks[6].kind, Tok::Assign);
+  const Token& real = toks[toks.size() - 3];
+  EXPECT_EQ(real.kind, Tok::Real);
+  EXPECT_DOUBLE_EQ(real.rvalue, 1.5);
+}
+
+TEST(Lexer, UppercasesIdentifiers) {
+  auto toks = lex("do i = 1, n");
+  EXPECT_EQ(toks[0].text, "DO");
+  EXPECT_EQ(toks[1].text, "I");
+  EXPECT_EQ(toks[5].text, "N");
+}
+
+TEST(Lexer, RelationalOperators) {
+  for (const char* op : {".EQ.", ".NE.", ".LT.", ".LE.", ".GT.", ".GE."}) {
+    auto toks = lex(std::string("X ") + op + " Y");
+    ASSERT_EQ(toks[1].kind, Tok::RelOp);
+    EXPECT_EQ(toks[1].text, op);
+  }
+  EXPECT_THROW((void)lex("X .QQ. Y"), blk::Error);
+}
+
+TEST(Lexer, NumbersIncludingExponents) {
+  auto toks = lex("0.25 1e-3 2D+4 7");
+  EXPECT_EQ(toks[0].kind, Tok::Real);
+  EXPECT_DOUBLE_EQ(toks[0].rvalue, 0.25);
+  EXPECT_EQ(toks[1].kind, Tok::Real);
+  EXPECT_DOUBLE_EQ(toks[1].rvalue, 1e-3);
+  EXPECT_EQ(toks[2].kind, Tok::Real);
+  EXPECT_DOUBLE_EQ(toks[2].rvalue, 2e4);  // Fortran D exponent
+  EXPECT_EQ(toks[3].kind, Tok::Integer);
+  EXPECT_EQ(toks[3].ivalue, 7);
+}
+
+TEST(Lexer, CommentsAndBlankLines) {
+  auto toks = lex(
+      "C full-line comment\n"
+      "\n"
+      "X = 1 ! trailing comment\n"
+      "* another full-line\n"
+      "Y = 2\n");
+  // X = 1 NL Y = 2 NL End
+  std::vector<Tok> expect{Tok::Ident, Tok::Assign, Tok::Integer,
+                          Tok::Newline, Tok::Ident, Tok::Assign,
+                          Tok::Integer, Tok::Newline, Tok::End};
+  std::vector<Tok> got;
+  for (const auto& t : toks) got.push_back(t.kind);
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  auto toks = lex("A = 1\nB = 2\nC2 = 3\n");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[4].line, 2);
+  EXPECT_EQ(toks[8].line, 3);
+}
+
+TEST(Lexer, CollapsesConsecutiveNewlines) {
+  auto toks = lex("A = 1\n\n\nB = 2");
+  int newlines = 0;
+  for (const auto& t : toks)
+    if (t.kind == Tok::Newline) ++newlines;
+  EXPECT_EQ(newlines, 2);  // one after each statement
+}
+
+TEST(Lexer, RejectsStrayCharacters) {
+  EXPECT_THROW((void)lex("A = #"), blk::Error);
+}
+
+TEST(Lexer, ColonAndStar) {
+  auto toks = lex("REAL*8 F(-N2:0)");
+  EXPECT_EQ(toks[1].kind, Tok::Star);
+  bool saw_colon = false;
+  for (const auto& t : toks) saw_colon |= (t.kind == Tok::Colon);
+  EXPECT_TRUE(saw_colon);
+}
+
+}  // namespace
+}  // namespace blk::lang

@@ -1,0 +1,61 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "interp/interp.hpp"
+#include "ir/printer.hpp"
+#include "ir/program.hpp"
+
+namespace blk::test {
+
+/// Fill every array of an interpreter with seeded random data; arrays whose
+/// name appears in `diag_boost` get +boost added on the diagonal (making
+/// unpivoted elimination well-conditioned).
+inline void seed_inputs(interp::Interpreter& in, std::uint64_t seed,
+                        const std::map<std::string, double>& diag_boost = {}) {
+  for (auto& [name, t] : in.store().arrays) {
+    // Derive each array's stream from its *name* so that programs with
+    // extra compiler temporaries still seed the shared arrays identically.
+    std::uint64_t k = seed;
+    for (char ch : name) k = k * 1099511628211ULL + static_cast<unsigned char>(ch);
+    interp::fill_random(t, k);
+    auto it = diag_boost.find(name);
+    if (it != diag_boost.end() && t.rank() == 2) {
+      for (long i = t.lower(0); i <= t.upper(0); ++i) {
+        if (i < t.lower(1) || i > t.upper(1)) continue;
+        std::vector<long> idx{i, i};
+        t.at(idx) += it->second;
+      }
+    }
+  }
+}
+
+/// Run two programs on identical seeded inputs and return the max
+/// elementwise difference across all arrays.
+inline double run_and_diff(const ir::Program& a, const ir::Program& b,
+                           const ir::Env& params, std::uint64_t seed,
+                           const std::map<std::string, double>& diag_boost =
+                               {}) {
+  interp::Interpreter ia(a, params);
+  interp::Interpreter ib(b, params);
+  seed_inputs(ia, seed, diag_boost);
+  seed_inputs(ib, seed, diag_boost);
+  ia.run();
+  ib.run();
+  return interp::max_abs_diff(ia.store(), ib.store());
+}
+
+/// Gtest assertion: the two programs compute identical results under
+/// `params` (bitwise, since the interpreter evaluates both the same way).
+#define EXPECT_PROGRAMS_EQUIVALENT(a, b, params, seed)                  \
+  EXPECT_EQ(0.0, ::blk::test::run_and_diff((a), (b), (params), (seed))) \
+      << "transformed program diverges\n--- original ---\n"            \
+      << ::blk::ir::print((a).body) << "--- transformed ---\n"         \
+      << ::blk::ir::print((b).body)
+
+}  // namespace blk::test

@@ -1,0 +1,223 @@
+// The paper's headline results as tests:
+//  - §5.1: block LU without pivoting is derived fully automatically and
+//    matches Fig. 6 (golden print + numeric identity with the point form).
+//  - §5.2: with commutativity knowledge the pivoting variant distributes;
+//    without it, it does not.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "testutil.hpp"
+#include "transform/blocking.hpp"
+#include "transform/pattern.hpp"
+#include "transform/split.hpp"
+#include "transform/stripmine.hpp"
+
+namespace blk::transform {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+analysis::Assumptions full_block_hint() {
+  analysis::Assumptions hints;
+  hints.assert_le(v("K") + v("KS") - 1, v("N") - 1);
+  return hints;
+}
+
+Program derive_block_lu() {
+  Program p = blk::kernels::lu_point_ir();
+  p.param("KS");
+  auto res = auto_block(p, p.body[0]->as_loop(), ivar("KS"),
+                        full_block_hint());
+  EXPECT_TRUE(res.blocked);
+  EXPECT_EQ(res.splits, 1);
+  EXPECT_EQ(res.interchanges, 2);
+  EXPECT_EQ(res.pieces.size(), 2u);
+  return p;
+}
+
+TEST(BlockLu, DerivedStructureMatchesFig6) {
+  Program p = derive_block_lu();
+  // Fig. 6 with exact MIN guards on the ragged final block (the paper's
+  // figure assumes KS | N-1; the derived form is correct for every N).
+  EXPECT_EQ(print(p.body),
+            "DO K = 1, N-1, KS\n"
+            "  DO KK = K, MIN(K+KS-1,N-1)\n"
+            "    DO I = KK+1, N\n"
+            "      20: A(I,KK) = A(I,KK)/A(KK,KK)\n"
+            "    ENDDO\n"
+            "    DO J = KK+1, MIN(K+KS-1,N-1)\n"
+            "      DO I = KK+1, N\n"
+            "        10: A(I,J) = A(I,J) - A(I,KK)*A(KK,J)\n"
+            "      ENDDO\n"
+            "    ENDDO\n"
+            "  ENDDO\n"
+            "  DO J = MIN(K+KS-1,N-1)+1, N\n"
+            "    DO I = K+1, N\n"
+            "      DO KK = K, MIN(I-1,K+KS-1,N-1)\n"
+            "        10: A(I,J) = A(I,J) - A(I,KK)*A(KK,J)\n"
+            "      ENDDO\n"
+            "    ENDDO\n"
+            "  ENDDO\n"
+            "ENDDO\n");
+}
+
+class BlockLuEquivalence
+    : public ::testing::TestWithParam<std::tuple<long, long>> {};
+
+TEST_P(BlockLuEquivalence, IdenticalToPointAlgorithm) {
+  auto [n, ks] = GetParam();
+  Program point = blk::kernels::lu_point_ir();
+  Program blocked = derive_block_lu();
+  ir::Env env{{"N", n}, {"KS", ks}};
+  EXPECT_EQ(0.0, blk::test::run_and_diff(point, blocked, env, 13,
+                                         {{"A", static_cast<double>(n)}}))
+      << "N=" << n << " KS=" << ks;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockLuEquivalence,
+    ::testing::Combine(::testing::Values(2L, 5L, 13L, 29L, 40L),
+                       ::testing::Values(1L, 2L, 4L, 7L, 32L)));
+
+TEST(BlockLu, DerivedBlockedVersionDoesSameWork) {
+  // Statement-execution counts agree: blocking reorders, never recomputes.
+  Program point = blk::kernels::lu_point_ir();
+  Program blocked = derive_block_lu();
+  interp::Interpreter ia(point, {{"N", 24}});
+  interp::Interpreter ib(blocked, {{"N", 24}, {"KS", 5}});
+  blk::test::seed_inputs(ia, 14, {{"A", 24.0}});
+  blk::test::seed_inputs(ib, 14, {{"A", 24.0}});
+  ia.run();
+  ib.run();
+  EXPECT_EQ(ia.statements_executed(), ib.statements_executed());
+}
+
+TEST(BlockLu, WithoutHintsStillSafeJustLessBlocked) {
+  // No full-block hint: the split decision may fail, but whatever happens
+  // must preserve semantics.
+  Program p = blk::kernels::lu_point_ir();
+  Program point = p.clone();
+  p.param("KS");
+  analysis::Assumptions none;
+  (void)auto_block(p, p.body[0]->as_loop(), ivar("KS"), none);
+  for (long n : {11L, 18L}) {
+    ir::Env env{{"N", n}, {"KS", 4}};
+    EXPECT_EQ(0.0, blk::test::run_and_diff(point, p, env, 15,
+                                           {{"A", static_cast<double>(n)}}));
+  }
+}
+
+// ---- §5.2: LU with partial pivoting -----------------------------------
+
+TEST(BlockLuPivot, NotDistributableByDependenceAlone) {
+  // Strip-mine and split: the swap<->update recurrence remains one SCC.
+  Program p = blk::kernels::lu_pivot_point_ir();
+  p.param("KS");
+  auto res = auto_block(p, p.body[0]->as_loop(), ivar("KS"),
+                        full_block_hint());
+  EXPECT_FALSE(res.blocked);
+}
+
+TEST(BlockLuPivot, CommutativityKnowledgeUnlocksBlocking) {
+  Program p = blk::kernels::lu_pivot_point_ir();
+  Program point = blk::kernels::lu_pivot_point_ir();
+  p.param("KS");
+  Loop& k = p.body[0]->as_loop();
+  auto res = auto_block(p, k, ivar("KS"), full_block_hint(),
+                        /*use_commutativity=*/true);
+  ASSERT_TRUE(res.blocked);
+  ASSERT_GE(res.pieces.size(), 2u);
+
+  // Fig. 8: first piece keeps the point algorithm (pivot search, swap,
+  // scale, block-column update); the delayed update runs second.  The
+  // values produced equal the point algorithm's (§5.2: "the final values
+  // are identical").
+  for (long n : {9L, 17L, 24L}) {
+    for (long ks : {2L, 4L, 7L}) {
+      ir::Env env{{"N", n}, {"KS", ks}};
+      EXPECT_EQ(0.0, blk::test::run_and_diff(point, p, env, 16))
+          << "N=" << n << " KS=" << ks;
+    }
+  }
+}
+
+TEST(BlockLuPivot, PivotChoicesMatchPointAlgorithm) {
+  // The blocked pivoting factorization must pick the same pivot rows: the
+  // panel columns are fully updated before each pivot search.
+  Program p = blk::kernels::lu_pivot_point_ir();
+  Program point = blk::kernels::lu_pivot_point_ir();
+  p.param("KS");
+  Loop& k = p.body[0]->as_loop();
+  (void)auto_block(p, k, ivar("KS"), full_block_hint(),
+                   /*use_commutativity=*/true);
+
+  interp::Interpreter ia(point, {{"N", 15}});
+  interp::Interpreter ib(p, {{"N", 15}, {"KS", 4}});
+  blk::test::seed_inputs(ia, 17);
+  blk::test::seed_inputs(ib, 17);
+  ia.run();
+  ib.run();
+  EXPECT_EQ(ia.store().scalars.at("IMAX"), ib.store().scalars.at("IMAX"));
+  EXPECT_EQ(interp::max_abs_diff(ia.store(), ib.store()), 0.0);
+}
+
+TEST(BlockLuPlus, DerivesThePaperTwoPlusVariant) {
+  // auto_block_plus = Fig. 6 + unroll-and-jam + scalar replacement: the
+  // "2+" code of table T3, derived fully automatically.
+  Program p = blk::kernels::lu_point_ir();
+  p.param("KS");
+  auto res = auto_block_plus(p, p.body[0]->as_loop(), ivar("KS"), 2,
+                             full_block_hint());
+  ASSERT_TRUE(res.blocked);
+  std::string out = print(p.body);
+  // The trailing J loop is jammed by 2 with register accumulators.
+  EXPECT_NE(out.find(", N-1, 2"), std::string::npos) << out;
+  EXPECT_NE(out.find("T2 = T2 - A(I,KK)*A(KK,J)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("T3 = T3 - A(I,KK)*A(KK,J+1)"), std::string::npos);
+  // The panel's invariant pivot loads were hoisted too.
+  EXPECT_NE(out.find("T0 = A(KK,KK)"), std::string::npos);
+}
+
+class BlockLuPlusEquivalence
+    : public ::testing::TestWithParam<std::tuple<long, long, long>> {};
+
+TEST_P(BlockLuPlusEquivalence, IdenticalToPointAlgorithm) {
+  auto [n, ks, uf] = GetParam();
+  Program point = blk::kernels::lu_point_ir();
+  Program plus = blk::kernels::lu_point_ir();
+  plus.param("KS");
+  auto res = auto_block_plus(plus, plus.body[0]->as_loop(), ivar("KS"), uf,
+                             full_block_hint());
+  ASSERT_TRUE(res.blocked);
+  ir::Env env{{"N", n}, {"KS", ks}};
+  EXPECT_EQ(0.0, blk::test::run_and_diff(point, plus, env, 19,
+                                         {{"A", static_cast<double>(n)}}))
+      << "N=" << n << " KS=" << ks << " UF=" << uf;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BlockLuPlusEquivalence,
+    ::testing::Combine(::testing::Values(7L, 23L, 40L),
+                       ::testing::Values(3L, 8L),
+                       ::testing::Values(2L, 3L, 4L)));
+
+TEST(BlockLuPlus, PivotedVariantAlsoDerives) {
+  // "1+": the pivoted pipeline with commutativity + register blocking.
+  Program point = blk::kernels::lu_pivot_point_ir();
+  Program plus = blk::kernels::lu_pivot_point_ir();
+  plus.param("KS");
+  auto res = auto_block_plus(plus, plus.body[0]->as_loop(), ivar("KS"), 2,
+                             full_block_hint(), /*use_commutativity=*/true);
+  ASSERT_TRUE(res.blocked);
+  for (long n : {11L, 26L}) {
+    ir::Env env{{"N", n}, {"KS", 4}};
+    EXPECT_EQ(0.0, blk::test::run_and_diff(point, plus, env, 20));
+  }
+}
+
+}  // namespace
+}  // namespace blk::transform

@@ -1,0 +1,141 @@
+// Loop fusion and reversal tests.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "testutil.hpp"
+#include "transform/distribute.hpp"
+#include "transform/fuse.hpp"
+
+namespace blk::transform {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+Program two_loops() {
+  // DO I: A(I) = 2 ; DO I: B(I) = A(I) + 1   (forward dep only: fusable)
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"), assign(lv("A", {v("I")}), f(2.0))));
+  p.add(loop("J", c(1), v("N"),
+             assign(lv("B", {v("J")}), a("A", {v("J")}) + f(1.0))));
+  return p;
+}
+
+TEST(Fuse, ForwardDependenceFuses) {
+  Program p = two_loops();
+  Program orig = p.clone();
+  Loop& merged = fuse(p.body, p.body[0]->as_loop());
+  EXPECT_EQ(p.body.size(), 1u);
+  EXPECT_EQ(merged.body.size(), 2u);
+  // The second body was renamed onto the first variable.
+  EXPECT_NE(print(p.body).find("B(I) = A(I) + 1"), std::string::npos);
+  for (long n : {1L, 7L, 12L})
+    EXPECT_PROGRAMS_EQUIVALENT(orig, p, (ir::Env{{"N", n}}), 61);
+}
+
+TEST(Fuse, ReadAheadOfLaterWriteStaysLegal) {
+  // DO I: B(I) = A(I+1) ; DO I: A(I) = 0 — after fusion the read of
+  // A(i+1) (iteration i) still precedes its zeroing (iteration i+1), so
+  // this fusion is legal and exact.
+  Program p;
+  p.param("N");
+  p.array("A", {iadd(v("N"), c(1))});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("B", {v("I")}), a("A", {v("I") + 1}))));
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), f(0.0))));
+  Program orig = p.clone();
+  EXPECT_NO_THROW((void)fuse(p.body, p.body[0]->as_loop()));
+  EXPECT_PROGRAMS_EQUIVALENT(orig, p, (ir::Env{{"N", 8}}), 66);
+}
+
+TEST(Fuse, BackwardCarriedDependenceRefusedAndRestored) {
+  // The first loop reads A(I-1) — the *old* values, since the second loop
+  // writes A only afterwards.  Fused, iteration i-1's write would reach
+  // iteration i's read: a backward-carried flow.  Fusion must refuse and
+  // restore the original shape.
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = v("N")}});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("B", {v("I")}), a("A", {v("I") - 1}))));
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), f(7.0))));
+  std::string before = print(p.body);
+  EXPECT_THROW((void)fuse(p.body, p.body[0]->as_loop()), blk::Error);
+  // The trial was undone.
+  EXPECT_EQ(print(p.body), before);
+}
+
+TEST(Fuse, SameIterationDependenceIsFine) {
+  // DO I: B(I) = A(I) ; DO I: A(I) = 0  — anti dependence at distance 0
+  // stays loop-independent after fusion (read before write per iteration).
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("B", {v("I")}), a("A", {v("I")}))));
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), f(0.0))));
+  Program orig = p.clone();
+  EXPECT_NO_THROW((void)fuse(p.body, p.body[0]->as_loop()));
+  EXPECT_PROGRAMS_EQUIVALENT(orig, p, (ir::Env{{"N", 9}}), 62);
+}
+
+TEST(Fuse, MismatchedHeadersRejected) {
+  Program p;
+  p.param("N");
+  p.array("A", {iadd(v("N"), c(1))});
+  p.add(loop("I", c(1), v("N"), assign(lv("A", {v("I")}), f(1.0))));
+  p.add(loop("I", c(1), iadd(v("N"), c(1)),
+             assign(lv("A", {v("I")}), f(2.0))));
+  EXPECT_THROW((void)fuse(p.body, p.body[0]->as_loop()), blk::Error);
+}
+
+TEST(Fuse, RoundTripsDistribution) {
+  // Distribute then fuse restores an equivalent single loop.
+  Program p = two_loops();
+  // First make them one loop to distribute.
+  (void)fuse(p.body, p.body[0]->as_loop());
+  Program fused = p.clone();
+  auto pieces = distribute(p.body, p.body[0]->as_loop());
+  ASSERT_EQ(pieces.size(), 2u);
+  (void)fuse(p.body, *pieces[0]);
+  EXPECT_EQ(print(p.body), print(fused.body));
+}
+
+TEST(Reverse, ParallelLoopReverses) {
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), vindex(v("I")))));
+  Program orig = p.clone();
+  reverse_loop(p.body, p.body[0]->as_loop());
+  EXPECT_EQ(to_string(p.body[0]->as_loop().step), "-1");
+  for (long n : {1L, 6L})
+    EXPECT_PROGRAMS_EQUIVALENT(orig, p, (ir::Env{{"N", n}}), 63);
+}
+
+TEST(Reverse, CarriedDependenceRefused) {
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = v("N")}});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), a("A", {v("I") - 1}) + f(1.0))));
+  EXPECT_THROW(reverse_loop(p.body, p.body[0]->as_loop()), blk::Error);
+  // Unchecked reversal is the caller's responsibility.
+  EXPECT_NO_THROW(
+      reverse_loop(p.body, p.body[0]->as_loop(), /*check=*/false));
+}
+
+}  // namespace
+}  // namespace blk::transform

@@ -1,0 +1,168 @@
+// Loop-interchange tests: rectangular swap, the four §3.1 triangular
+// cases, and dependence legality.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "testutil.hpp"
+#include "transform/interchange.hpp"
+
+namespace blk::transform {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+/// 2-deep nest writing a distinct element per iteration (always legal to
+/// reorder): A(I,J) = A(I,J) + I + J over the given bounds.
+Program nest(IExprPtr jlb, IExprPtr jub) {
+  Program p;
+  p.param("N");
+  p.param("M");
+  // Generous bounds so every triangular shape stays inside.
+  IExprPtr span = imul(c(2), iadd(v("N"), v("M")));
+  p.array_bounds("A", {{.lb = isub(c(0), span), .ub = span},
+                       {.lb = isub(c(0), span), .ub = span}});
+  p.add(loop("I", c(1), v("N"),
+             loop("J", std::move(jlb), std::move(jub),
+                  assign(lv("A", {v("I"), v("J")}),
+                         a("A", {v("I"), v("J")}) + vindex(v("I")) +
+                             vindex(v("J"))))));
+  return p;
+}
+
+TEST(Interchange, RectangularSwap) {
+  Program p = nest(c(1), v("M"));
+  Program q = p.clone();
+  interchange(q.body, q.body[0]->as_loop());
+  Loop& outer = q.body[0]->as_loop();
+  EXPECT_EQ(outer.var, "J");
+  EXPECT_EQ(outer.body[0]->as_loop().var, "I");
+  for (long n : {1L, 5L, 9L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 7}}), 2);
+}
+
+TEST(Interchange, TriangularLowerBoundPositiveSlope) {
+  // DO I / DO J = 2*I+1, M  (alpha = 2 > 0 in the lower bound).
+  Program p = nest(iadd(imul(c(2), v("I")), c(1)), v("M"));
+  Program q = p.clone();
+  interchange(q.body, q.body[0]->as_loop());
+  Loop& outer = q.body[0]->as_loop();
+  EXPECT_EQ(outer.var, "J");
+  EXPECT_EQ(to_string(outer.lb), "3");  // alpha*lb(I) + beta = 2*1 + 1
+  for (long n : {1L, 4L, 8L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 20}}), 3);
+}
+
+TEST(Interchange, TriangularLowerBoundUnitSlope) {
+  // The paper's canonical case: DO I / DO J = I, M.
+  Program p = nest(v("I"), v("M"));
+  Program q = p.clone();
+  interchange(q.body, q.body[0]->as_loop());
+  Loop& outer = q.body[0]->as_loop();
+  Loop& inner = outer.body[0]->as_loop();
+  EXPECT_EQ(outer.var, "J");
+  EXPECT_EQ(to_string(outer.lb), "1");
+  EXPECT_EQ(to_string(inner.ub), "MIN(J,N)");
+  for (long n : {1L, 6L, 11L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 9}}), 4);
+}
+
+TEST(Interchange, TriangularLowerBoundNegativeSlope) {
+  // DO I / DO J = M-I, M (alpha = -1 in the lower bound).
+  Program p = nest(isub(v("M"), v("I")), v("M"));
+  Program q = p.clone();
+  interchange(q.body, q.body[0]->as_loop());
+  for (long n : {1L, 5L, 12L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 15}}), 5);
+}
+
+TEST(Interchange, TriangularUpperBoundPositiveSlope) {
+  // DO I / DO J = 1, I (upper-left triangle).
+  Program p = nest(c(1), v("I"));
+  Program q = p.clone();
+  interchange(q.body, q.body[0]->as_loop());
+  Loop& outer = q.body[0]->as_loop();
+  Loop& inner = outer.body[0]->as_loop();
+  EXPECT_EQ(to_string(outer.ub), "N");
+  EXPECT_EQ(to_string(inner.lb), "MAX(J,1)");
+  for (long n : {1L, 6L, 13L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 4}}), 6);
+}
+
+TEST(Interchange, TriangularUpperBoundNegativeSlope) {
+  // DO I / DO J = 1, M-2*I.
+  Program p = nest(c(1), isub(v("M"), imul(c(2), v("I"))));
+  Program q = p.clone();
+  interchange(q.body, q.body[0]->as_loop());
+  for (long n : {1L, 4L, 7L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 18}}), 7);
+}
+
+TEST(Interchange, RejectsDoublyDependentBounds) {
+  Program p = nest(v("I"), iadd(v("I"), c(3)));
+  EXPECT_THROW(interchange(p.body, p.body[0]->as_loop()), blk::Error);
+}
+
+TEST(Interchange, RejectsImperfectNest) {
+  Program p = nest(c(1), v("M"));
+  Loop& i = p.body[0]->as_loop();
+  i.body.push_back(p.body[0]->as_loop().body[0]->clone());
+  EXPECT_THROW(interchange(p.body, i), blk::Error);
+}
+
+TEST(Interchange, IllegalWhenDependenceWouldReverse) {
+  // A(I,J) = A(I-1,J+1): direction (<,>) forbids interchange.
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = iadd(v("N"), c(1))},
+                       {.lb = c(0), .ub = iadd(v("N"), c(1))}});
+  p.add(loop("I", c(1), v("N"),
+             loop("J", c(1), v("N"),
+                  assign(lv("A", {v("I"), v("J")}),
+                         a("A", {v("I") - 1, v("J") + 1})))));
+  EXPECT_FALSE(interchange_legal(p.body, p.body[0]->as_loop()));
+  EXPECT_THROW(interchange(p.body, p.body[0]->as_loop()), blk::Error);
+  // Unchecked mode performs it anyway (caller takes responsibility).
+  EXPECT_NO_THROW(
+      interchange(p.body, p.body[0]->as_loop(), /*check=*/false));
+}
+
+TEST(Interchange, LegalWhenDistanceAllAscending) {
+  // A(I,J) = A(I-1,J-1): direction (<,<) permits interchange.
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = v("N")},
+                       {.lb = c(0), .ub = v("N")}});
+  p.add(loop("I", c(1), v("N"),
+             loop("J", c(1), v("N"),
+                  assign(lv("A", {v("I"), v("J")}),
+                         a("A", {v("I") - 1, v("J") - 1})))));
+  Program q = p.clone();
+  EXPECT_TRUE(interchange_legal(q.body, q.body[0]->as_loop()));
+  interchange(q.body, q.body[0]->as_loop());
+  for (long n : {3L, 8L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}}), 8);
+}
+
+TEST(Interchange, SinkLoopDescendsPerfectNest) {
+  // 3-deep rectangular nest: sink the outermost to the innermost spot.
+  Program p;
+  p.param("N");
+  p.array("A", {v("N"), v("N"), v("N")});
+  p.add(loop("X", c(1), v("N"),
+             loop("Y", c(1), v("N"),
+                  loop("Z", c(1), v("N"),
+                       assign(lv("A", {v("X"), v("Y"), v("Z")}),
+                              vindex(v("X")))))));
+  Program q = p.clone();
+  Loop& x = q.body[0]->as_loop();
+  EXPECT_EQ(sink_loop(q.body, x), 2);
+  EXPECT_EQ(q.body[0]->as_loop().var, "Y");
+  EXPECT_EQ(q.body[0]->as_loop().body[0]->as_loop().var, "Z");
+  EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", 5}}), 9);
+}
+
+}  // namespace
+}  // namespace blk::transform

@@ -1,0 +1,154 @@
+// Commutativity pattern-matching tests (§5.2).
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hpp"
+#include "ir/builder.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "transform/pattern.hpp"
+#include "transform/stripmine.hpp"
+
+namespace blk::transform {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+StmtPtr row_swap_loop() {
+  // DO J = 1,N: TAU = A(K,J); A(K,J) = A(IMAX,J); A(IMAX,J) = TAU
+  return loop("J", c(1), v("N"),
+              assign(lvs("TAU"), a("A", {v("K"), v("J")})),
+              assign(lv("A", {v("K"), v("J")}),
+                     a("A", {ivar("IMAX"), v("J")}), 25),
+              assign(lv("A", {ivar("IMAX"), v("J")}), s("TAU"), 30));
+}
+
+TEST(Pattern, MatchesRowSwap) {
+  StmtPtr l = row_swap_loop();
+  auto m = match_row_swap(l->as_loop());
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->array, "A");
+  EXPECT_EQ(to_string(m->row1), "K");
+  EXPECT_EQ(to_string(m->row2), "IMAX");
+  EXPECT_EQ(m->col_var, "J");
+}
+
+TEST(Pattern, RejectsWrongShape) {
+  // Missing the restore statement.
+  StmtPtr l = loop("J", c(1), v("N"),
+                   assign(lvs("TAU"), a("A", {v("K"), v("J")})),
+                   assign(lv("A", {v("K"), v("J")}),
+                          a("A", {ivar("IMAX"), v("J")})));
+  EXPECT_FALSE(match_row_swap(l->as_loop()));
+}
+
+TEST(Pattern, RejectsRowIndexVaryingWithColumn) {
+  // Row index depends on J: not a whole-row interchange.
+  StmtPtr l = loop("J", c(1), v("N"),
+                   assign(lvs("TAU"), a("A", {v("J"), v("J")})),
+                   assign(lv("A", {v("J"), v("J")}),
+                          a("A", {ivar("IMAX"), v("J")})),
+                   assign(lv("A", {ivar("IMAX"), v("J")}), s("TAU")));
+  EXPECT_FALSE(match_row_swap(l->as_loop()));
+}
+
+TEST(Pattern, RejectsMismatchedRows) {
+  // Restores into a third row.
+  StmtPtr l = loop("J", c(1), v("N"),
+                   assign(lvs("TAU"), a("A", {v("K"), v("J")})),
+                   assign(lv("A", {v("K"), v("J")}),
+                          a("A", {ivar("IMAX"), v("J")})),
+                   assign(lv("A", {v("K") + 1, v("J")}), s("TAU")));
+  EXPECT_FALSE(match_row_swap(l->as_loop()));
+}
+
+TEST(Pattern, ColumnUpdateRecognized) {
+  // The Gaussian update A(I,J) = A(I,J) - A(I,KK)*A(KK,J).
+  StmtPtr st = assign(lv("A", {v("I"), v("J")}),
+                      a("A", {v("I"), v("J")}) -
+                          a("A", {v("I"), v("KK")}) *
+                              a("A", {v("KK"), v("J")}));
+  EXPECT_TRUE(is_column_update(*st, "A"));
+  // The scaling A(I,K) = A(I,K)/A(K,K) too.
+  StmtPtr sc = assign(lv("A", {v("I"), v("K")}),
+                      a("A", {v("I"), v("K")}) / a("A", {v("K"), v("K")}));
+  EXPECT_TRUE(is_column_update(*sc, "A"));
+  // A loop nest of such updates counts as one.
+  StmtPtr nest = loop("J", c(1), v("N"),
+                      loop("I", c(1), v("N"),
+                           assign(lv("A", {v("I"), v("J")}),
+                                  a("A", {v("I"), v("J")}) -
+                                      a("A", {v("I"), v("KK")}) *
+                                          a("A", {v("KK"), v("J")}))));
+  EXPECT_TRUE(is_column_update(*nest, "A"));
+}
+
+TEST(Pattern, RowMixingIsNotColumnwise) {
+  // Reads a different non-invariant row: not a whole-column update.
+  StmtPtr st = assign(lv("A", {v("I"), v("J")}),
+                      a("A", {v("I") + 1, v("J")}));
+  EXPECT_FALSE(is_column_update(*st, "A"));
+}
+
+TEST(Pattern, CommutativityFilterIgnoresSwapUpdateEdges) {
+  // Build a carrier loop containing a row swap and a column-update nest,
+  // and verify the filter ignores exactly the edges between them.
+  Program p;
+  p.param("N");
+  p.array("A", {v("N"), v("N")});
+  p.param("K");
+  p.scalar("TAU");
+  p.scalar("IMAX");
+  StmtList body;
+  body.push_back(row_swap_loop());
+  body.push_back(loop("J", v("K") + 1, v("N"),
+                      loop("I", v("K") + 1, v("N"),
+                           assign(lv("A", {v("I"), v("J")}),
+                                  a("A", {v("I"), v("J")}) -
+                                      a("A", {v("I"), v("K")}) *
+                                          a("A", {v("K"), v("J")}), 10))));
+  p.add(make_loop("KK", c(1), v("N"), std::move(body)));
+  Loop& kk = p.body[0]->as_loop();
+
+  IgnoreEdge filter = commutativity_filter(kk);
+  analysis::DepGraph g(p.body, kk);
+  int ignored = 0, kept = 0;
+  for (const auto& e : g.edges()) {
+    if (e.from == e.to) continue;
+    if (filter(e))
+      ++ignored;
+    else
+      ++kept;
+  }
+  EXPECT_GT(ignored, 0) << "swap<->update edges should be ignorable";
+  // Every ignored edge connects the two nodes, never within one.
+  for (const auto& e : g.edges())
+    if (filter(e)) EXPECT_NE(e.from, e.to);
+}
+
+TEST(Pattern, FilterKeepsEdgesOnOtherArrays) {
+  // A swap on A and updates on B: nothing commutes.
+  Program p;
+  p.param("N");
+  p.param("K");
+  p.array("A", {v("N"), v("N")});
+  p.array("B", {v("N"), v("N")});
+  p.scalar("TAU");
+  p.scalar("IMAX");
+  StmtList body;
+  body.push_back(row_swap_loop());
+  body.push_back(loop("J", c(1), v("N"),
+                      loop("I", c(1), v("N"),
+                           assign(lv("B", {v("I"), v("J")}),
+                                  a("B", {v("I"), v("J")}) -
+                                      a("B", {v("I"), v("K")}) *
+                                          a("B", {v("K"), v("J")})))));
+  p.add(make_loop("KK", c(1), v("N"), std::move(body)));
+  Loop& kk = p.body[0]->as_loop();
+  IgnoreEdge filter = commutativity_filter(kk);
+  analysis::DepGraph g(p.body, kk);
+  for (const auto& e : g.edges()) EXPECT_FALSE(filter(e));
+}
+
+}  // namespace
+}  // namespace blk::transform

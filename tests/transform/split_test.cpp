@@ -1,0 +1,217 @@
+// Index-set splitting tests: the primitive, the §3.2 trapezoid splitter,
+// and Procedure IndexSetSplit (Fig. 3) on the paper's own examples.
+#include <gtest/gtest.h>
+
+#include "analysis/depgraph.hpp"
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "testutil.hpp"
+#include "transform/distribute.hpp"
+#include "transform/split.hpp"
+#include "transform/stripmine.hpp"
+
+namespace blk::transform {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+Program vec_add() {
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}),
+                    a("A", {v("I")}) + a("B", {v("I")}))));
+  return p;
+}
+
+TEST(SplitAt, PaperBoundForms) {
+  // §3's example: split DO I=1,N at 100 yields MIN/MAX guarded pieces.
+  Program p = vec_add();
+  auto [lo, hi] = split_at(p.body, p.body[0]->as_loop(), iconst(100));
+  EXPECT_EQ(to_string(lo->ub), "MIN(N,100)");
+  EXPECT_EQ(to_string(hi->lb), "MAX(1,MIN(N,100)+1)");
+  EXPECT_EQ(to_string(hi->ub), "N");
+  EXPECT_EQ(p.body.size(), 2u);
+}
+
+class SplitAtEquivalence : public ::testing::TestWithParam<long> {};
+
+TEST_P(SplitAtEquivalence, ExactForAnyPoint) {
+  // Any split point -- below, inside, or above the range -- is safe.
+  Program p = vec_add();
+  Program q = p.clone();
+  split_at(q.body, q.body[0]->as_loop(), iconst(GetParam()));
+  for (long n : {1L, 5L, 12L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}}), 21);
+}
+
+INSTANTIATE_TEST_SUITE_P(Points, SplitAtEquivalence,
+                         ::testing::Values(-3L, 0L, 1L, 4L, 11L, 12L, 40L));
+
+TEST(SplitAt, SymbolicPoint) {
+  Program p = vec_add();
+  p.param("P");
+  Program q = p.clone();
+  q.param("P");
+  split_at(q.body, q.body[0]->as_loop(), ivar("P"));
+  for (long pt : {0L, 3L, 9L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", 9}, {"P", pt}}), 22);
+}
+
+TEST(Trapezoid, AconvSplitsIntoRhomboidAndTriangle) {
+  // §3.2: MIN(I+N2, N1) in the K upper bound splits I at N1-N2.
+  Program p = blk::kernels::aconv_ir();
+  Program q = p.clone();
+  auto [lo, hi] = split_trapezoid(q.body, q.body[0]->as_loop());
+  // Low piece keeps the dependent bound I+N2; high piece keeps N1.
+  EXPECT_EQ(to_string(lo->body[0]->as_loop().ub), "I+N2");
+  EXPECT_EQ(to_string(hi->body[0]->as_loop().ub), "N1");
+  EXPECT_EQ(to_string(lo->ub), "MIN(N3,N1-N2)");
+  for (long n3 : {5L, 20L, 40L}) {
+    ir::Env env{{"N1", 30}, {"N2", 12}, {"N3", n3}};
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, env, 23);
+  }
+}
+
+TEST(Trapezoid, ConvSplitsFullyIntoFourLoops) {
+  // §3.2: "complete splitting ... would result in four separate loops".
+  Program p = blk::kernels::conv_ir();
+  Program q = p.clone();
+  auto loops = split_trapezoid_all(q.body, q.body[0]->as_loop());
+  EXPECT_EQ(loops.size(), 4u);
+  // Every remaining inner bound is MIN/MAX-free in the outer variable.
+  for (Loop* l : loops) {
+    Loop& inner = l->body[0]->as_loop();
+    EXPECT_NE(inner.lb->kind, IKind::Max);
+    EXPECT_NE(inner.ub->kind, IKind::Min);
+  }
+  for (long n3 : {6L, 25L, 45L}) {
+    ir::Env env{{"N1", 30}, {"N2", 12}, {"N3", n3}};
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, env, 24);
+  }
+}
+
+TEST(Trapezoid, RequiresDependentMinMax) {
+  Program p = vec_add();
+  EXPECT_THROW((void)split_trapezoid(p.body, p.body[0]->as_loop()),
+               blk::Error);
+}
+
+/// §3.3's example, already strip-mined by the paper.
+Program fig3_example() {
+  Program p;
+  p.param("N");
+  p.param("IS");
+  p.array("A", {v("N")});
+  p.array("T", {v("N")});
+  p.add(loop_step(
+      "I", c(1), v("N"), v("IS"),
+      loop("II", v("I"), imin(v("I") + v("IS") - 1, v("N")),
+           assign(lv("T", {v("II")}), a("A", {v("II")})),
+           loop("K", v("II"), v("N"),
+                assign(lv("A", {v("K")}),
+                       a("A", {v("K")}) + a("T", {v("II")}), 10)))));
+  return p;
+}
+
+TEST(IndexSetSplit, Fig3SplitsAtStripBoundary) {
+  Program p = fig3_example();
+  Loop& ii = p.body[0]->as_loop().body[0]->as_loop();
+  analysis::Assumptions hints;
+  hints.assert_le(v("I") + v("IS") - 1, v("N") - 1);  // full strip
+  SplitReport rep = index_set_split(p.body, ii, hints);
+  EXPECT_TRUE(rep.distributable);
+  EXPECT_EQ(rep.splits, 1);
+  // The K loop was split at I+IS-1 (the paper's split point).
+  std::string out = print(p.body);
+  EXPECT_NE(out.find("DO K = II, MIN(N,I+IS-1)"), std::string::npos) << out;
+}
+
+TEST(IndexSetSplit, Fig3ThenDistributes) {
+  Program p = fig3_example();
+  Program orig = p.clone();
+  Loop& ii = p.body[0]->as_loop().body[0]->as_loop();
+  analysis::Assumptions hints;
+  hints.assert_le(v("I") + v("IS") - 1, v("N") - 1);
+  index_set_split(p.body, ii, hints);
+  auto pieces = distribute(p.body, ii);
+  EXPECT_EQ(pieces.size(), 2u);
+  for (long n : {7L, 16L, 21L})
+    for (long is : {2L, 4L, 5L}) {
+      ir::Env env{{"N", n}, {"IS", is}};
+      EXPECT_PROGRAMS_EQUIVALENT(orig, p, env, 25);
+    }
+}
+
+TEST(IndexSetSplit, NoRecurrenceIsImmediatelyDistributable) {
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), f(1.0)),
+             assign(lv("B", {v("I")}), f(2.0))));
+  analysis::Assumptions none;
+  SplitReport rep =
+      index_set_split(p.body, p.body[0]->as_loop(), none);
+  EXPECT_TRUE(rep.distributable);
+  EXPECT_EQ(rep.splits, 0);
+}
+
+TEST(IndexSetSplit, TotalRecurrenceCannotBeSplit) {
+  // A(I) = A(I-1): the sections fully coincide; Fig. 3 step 3 stops.
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = v("N")}});
+  p.array_bounds("B", {{.lb = c(0), .ub = v("N")}});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), a("B", {v("I") - 1})),
+             assign(lv("B", {v("I")}), a("A", {v("I") - 1}))));
+  analysis::Assumptions none;
+  SplitReport rep =
+      index_set_split(p.body, p.body[0]->as_loop(), none);
+  EXPECT_FALSE(rep.distributable);
+}
+
+TEST(Distribute, RespectsTopologicalOrder) {
+  // writer then reader: distribution keeps the writer's loop first.
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), f(3.0)),
+             assign(lv("B", {v("I")}), a("A", {v("I")}))));
+  Program orig = p.clone();
+  auto pieces = distribute(p.body, p.body[0]->as_loop());
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0]->body[0]->as_assign().lhs.name, "A");
+  EXPECT_EQ(pieces[1]->body[0]->as_assign().lhs.name, "B");
+  EXPECT_PROGRAMS_EQUIVALENT(orig, p, (ir::Env{{"N", 9}}), 26);
+}
+
+TEST(Distribute, KeepsRecurrenceTogether) {
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = v("N")}});
+  p.array_bounds("B", {{.lb = c(0), .ub = v("N")}});
+  p.array("C", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), a("B", {v("I") - 1})),
+             assign(lv("B", {v("I")}), a("A", {v("I") - 1})),
+             assign(lv("C", {v("I")}), a("A", {v("I")}))));
+  Program orig = p.clone();
+  auto pieces = distribute(p.body, p.body[0]->as_loop());
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0]->body.size(), 2u);  // the A/B recurrence stays whole
+  EXPECT_EQ(pieces[1]->body.size(), 1u);
+  EXPECT_PROGRAMS_EQUIVALENT(orig, p, (ir::Env{{"N", 9}}), 27);
+}
+
+}  // namespace
+}  // namespace blk::transform

@@ -1,0 +1,107 @@
+// Strip-mining tests: structure and semantic equivalence.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "testutil.hpp"
+#include "transform/stripmine.hpp"
+
+namespace blk::transform {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+Program vec_add() {
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}),
+                    a("A", {v("I")}) + a("B", {v("I")}))));
+  return p;
+}
+
+TEST(StripMine, StructureWithMinGuard) {
+  Program p = vec_add();
+  p.param("BS");
+  Loop& i = p.body[0]->as_loop();
+  Loop& inner = strip_mine(p, i, ivar("BS"));
+  EXPECT_EQ(inner.var, "II");
+  EXPECT_EQ(to_string(i.step), "BS");
+  EXPECT_EQ(to_string(inner.ub), "MIN(BS+I-1,N)");
+  EXPECT_NE(print(p.body).find("A(II)"), std::string::npos);
+}
+
+TEST(StripMine, ExactVariantOmitsMin) {
+  Program p = vec_add();
+  Loop& i = p.body[0]->as_loop();
+  Loop& inner = strip_mine(p, i, iconst(4), /*exact=*/true);
+  EXPECT_EQ(to_string(inner.ub), "I+3");
+}
+
+TEST(StripMine, RequiresUnitStep) {
+  Program p = vec_add();
+  Loop& i = p.body[0]->as_loop();
+  i.step = iconst(2);
+  EXPECT_THROW((void)strip_mine(p, i, iconst(4)), blk::Error);
+}
+
+TEST(StripMine, FreshVariableAvoidsCollision) {
+  Program p = vec_add();
+  p.scalar("II");  // occupy the natural name
+  Loop& i = p.body[0]->as_loop();
+  Loop& inner = strip_mine(p, i, iconst(4));
+  EXPECT_EQ(inner.var, "II2");
+}
+
+class StripMineEquivalence
+    : public ::testing::TestWithParam<std::tuple<long, long>> {};
+
+TEST_P(StripMineEquivalence, PreservesSemantics) {
+  auto [n, bs] = GetParam();
+  Program p = vec_add();
+  Program q = p.clone();
+  Loop& i = q.body[0]->as_loop();
+  strip_mine(q, i, iconst(bs));
+  EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}}), 11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StripMineEquivalence,
+    ::testing::Combine(::testing::Values(1L, 2L, 7L, 16L, 33L),
+                       ::testing::Values(1L, 2L, 4L, 8L)));
+
+TEST(StripMine, TriangularLoopStillExact) {
+  // Strip-mining the outer loop of a triangular nest keeps semantics.
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("T", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("T", {v("I")}), a("A", {v("I")})),
+             loop("K", v("I"), v("N"),
+                  assign(lv("A", {v("K")}),
+                         a("A", {v("K")}) + a("T", {v("I")})))));
+  Program q = p.clone();
+  strip_mine(q, q.body[0]->as_loop(), iconst(5));
+  for (long n : {4L, 15L, 20L, 23L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}}), 5);
+}
+
+TEST(StripMine, LuOuterLoop) {
+  Program p = blk::kernels::lu_point_ir();
+  Program q = p.clone();
+  q.param("KS");
+  strip_mine(q, q.body[0]->as_loop(), ivar("KS"));
+  for (long ks : {2L, 3L, 8L}) {
+    ir::Env env{{"N", 17}, {"KS", ks}};
+    EXPECT_EQ(0.0, blk::test::run_and_diff(p, q, env, 3, {{"A", 17.0}}));
+  }
+}
+
+}  // namespace
+}  // namespace blk::transform
