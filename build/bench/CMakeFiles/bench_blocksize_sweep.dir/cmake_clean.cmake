@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_blocksize_sweep.dir/bench_blocksize_sweep.cpp.o"
+  "CMakeFiles/bench_blocksize_sweep.dir/bench_blocksize_sweep.cpp.o.d"
+  "bench_blocksize_sweep"
+  "bench_blocksize_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blocksize_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cache_model.dir/bench_cache_model.cpp.o"
+  "CMakeFiles/bench_cache_model.dir/bench_cache_model.cpp.o.d"
+  "bench_cache_model"
+  "bench_cache_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cache_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

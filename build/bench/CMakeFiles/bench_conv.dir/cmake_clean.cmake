@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conv.dir/bench_conv.cpp.o"
+  "CMakeFiles/bench_conv.dir/bench_conv.cpp.o.d"
+  "bench_conv"
+  "bench_conv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_givens_qr.dir/bench_givens_qr.cpp.o"
+  "CMakeFiles/bench_givens_qr.dir/bench_givens_qr.cpp.o.d"
+  "bench_givens_qr"
+  "bench_givens_qr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_givens_qr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_householder.dir/bench_householder.cpp.o"
+  "CMakeFiles/bench_householder.dir/bench_householder.cpp.o.d"
+  "bench_householder"
+  "bench_householder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_householder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ifinspect.dir/bench_ifinspect.cpp.o"
+  "CMakeFiles/bench_ifinspect.dir/bench_ifinspect.cpp.o.d"
+  "bench_ifinspect"
+  "bench_ifinspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ifinspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lu_nopiv.dir/bench_lu_nopiv.cpp.o"
+  "CMakeFiles/bench_lu_nopiv.dir/bench_lu_nopiv.cpp.o.d"
+  "bench_lu_nopiv"
+  "bench_lu_nopiv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lu_nopiv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

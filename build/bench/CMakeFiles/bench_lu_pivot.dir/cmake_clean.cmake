@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lu_pivot.dir/bench_lu_pivot.cpp.o"
+  "CMakeFiles/bench_lu_pivot.dir/bench_lu_pivot.cpp.o.d"
+  "bench_lu_pivot"
+  "bench_lu_pivot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lu_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

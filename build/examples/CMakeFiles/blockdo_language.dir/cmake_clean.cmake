@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockdo_language.dir/blockdo_language.cpp.o"
+  "CMakeFiles/blockdo_language.dir/blockdo_language.cpp.o.d"
+  "blockdo_language"
+  "blockdo_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockdo_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolution_pipeline.dir/convolution_pipeline.cpp.o"
+  "CMakeFiles/convolution_pipeline.dir/convolution_pipeline.cpp.o.d"
+  "convolution_pipeline"
+  "convolution_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolution_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

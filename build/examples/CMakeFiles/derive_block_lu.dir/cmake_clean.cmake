@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derive_block_lu.dir/derive_block_lu.cpp.o"
+  "CMakeFiles/derive_block_lu.dir/derive_block_lu.cpp.o.d"
+  "derive_block_lu"
+  "derive_block_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derive_block_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/givens_pipeline.dir/givens_pipeline.cpp.o"
+  "CMakeFiles/givens_pipeline.dir/givens_pipeline.cpp.o.d"
+  "givens_pipeline"
+  "givens_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/givens_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

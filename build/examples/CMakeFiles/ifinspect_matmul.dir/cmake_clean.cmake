@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ifinspect_matmul.dir/ifinspect_matmul.cpp.o"
+  "CMakeFiles/ifinspect_matmul.dir/ifinspect_matmul.cpp.o.d"
+  "ifinspect_matmul"
+  "ifinspect_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ifinspect_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/assume.cpp" "src/analysis/CMakeFiles/blk_analysis.dir/assume.cpp.o" "gcc" "src/analysis/CMakeFiles/blk_analysis.dir/assume.cpp.o.d"
+  "/root/repo/src/analysis/ddtest.cpp" "src/analysis/CMakeFiles/blk_analysis.dir/ddtest.cpp.o" "gcc" "src/analysis/CMakeFiles/blk_analysis.dir/ddtest.cpp.o.d"
+  "/root/repo/src/analysis/depgraph.cpp" "src/analysis/CMakeFiles/blk_analysis.dir/depgraph.cpp.o" "gcc" "src/analysis/CMakeFiles/blk_analysis.dir/depgraph.cpp.o.d"
+  "/root/repo/src/analysis/refs.cpp" "src/analysis/CMakeFiles/blk_analysis.dir/refs.cpp.o" "gcc" "src/analysis/CMakeFiles/blk_analysis.dir/refs.cpp.o.d"
+  "/root/repo/src/analysis/reuse.cpp" "src/analysis/CMakeFiles/blk_analysis.dir/reuse.cpp.o" "gcc" "src/analysis/CMakeFiles/blk_analysis.dir/reuse.cpp.o.d"
+  "/root/repo/src/analysis/sections.cpp" "src/analysis/CMakeFiles/blk_analysis.dir/sections.cpp.o" "gcc" "src/analysis/CMakeFiles/blk_analysis.dir/sections.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/blk_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

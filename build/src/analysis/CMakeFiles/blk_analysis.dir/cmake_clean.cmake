@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_analysis.dir/assume.cpp.o"
+  "CMakeFiles/blk_analysis.dir/assume.cpp.o.d"
+  "CMakeFiles/blk_analysis.dir/ddtest.cpp.o"
+  "CMakeFiles/blk_analysis.dir/ddtest.cpp.o.d"
+  "CMakeFiles/blk_analysis.dir/depgraph.cpp.o"
+  "CMakeFiles/blk_analysis.dir/depgraph.cpp.o.d"
+  "CMakeFiles/blk_analysis.dir/refs.cpp.o"
+  "CMakeFiles/blk_analysis.dir/refs.cpp.o.d"
+  "CMakeFiles/blk_analysis.dir/reuse.cpp.o"
+  "CMakeFiles/blk_analysis.dir/reuse.cpp.o.d"
+  "CMakeFiles/blk_analysis.dir/sections.cpp.o"
+  "CMakeFiles/blk_analysis.dir/sections.cpp.o.d"
+  "libblk_analysis.a"
+  "libblk_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

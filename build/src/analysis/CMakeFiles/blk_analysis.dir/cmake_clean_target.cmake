@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libblk_analysis.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/blk_cachesim.dir/cache.cpp.o.d"
+  "libblk_cachesim.a"
+  "libblk_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

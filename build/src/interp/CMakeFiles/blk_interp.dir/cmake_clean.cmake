@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_interp.dir/interp.cpp.o"
+  "CMakeFiles/blk_interp.dir/interp.cpp.o.d"
+  "libblk_interp.a"
+  "libblk_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/affine.cpp" "src/ir/CMakeFiles/blk_ir.dir/affine.cpp.o" "gcc" "src/ir/CMakeFiles/blk_ir.dir/affine.cpp.o.d"
+  "/root/repo/src/ir/codegen.cpp" "src/ir/CMakeFiles/blk_ir.dir/codegen.cpp.o" "gcc" "src/ir/CMakeFiles/blk_ir.dir/codegen.cpp.o.d"
+  "/root/repo/src/ir/iexpr.cpp" "src/ir/CMakeFiles/blk_ir.dir/iexpr.cpp.o" "gcc" "src/ir/CMakeFiles/blk_ir.dir/iexpr.cpp.o.d"
+  "/root/repo/src/ir/printer.cpp" "src/ir/CMakeFiles/blk_ir.dir/printer.cpp.o" "gcc" "src/ir/CMakeFiles/blk_ir.dir/printer.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/ir/CMakeFiles/blk_ir.dir/program.cpp.o" "gcc" "src/ir/CMakeFiles/blk_ir.dir/program.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/ir/CMakeFiles/blk_ir.dir/stmt.cpp.o" "gcc" "src/ir/CMakeFiles/blk_ir.dir/stmt.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/ir/CMakeFiles/blk_ir.dir/validate.cpp.o" "gcc" "src/ir/CMakeFiles/blk_ir.dir/validate.cpp.o.d"
+  "/root/repo/src/ir/vexpr.cpp" "src/ir/CMakeFiles/blk_ir.dir/vexpr.cpp.o" "gcc" "src/ir/CMakeFiles/blk_ir.dir/vexpr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

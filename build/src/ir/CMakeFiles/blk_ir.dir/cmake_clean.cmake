@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_ir.dir/affine.cpp.o"
+  "CMakeFiles/blk_ir.dir/affine.cpp.o.d"
+  "CMakeFiles/blk_ir.dir/codegen.cpp.o"
+  "CMakeFiles/blk_ir.dir/codegen.cpp.o.d"
+  "CMakeFiles/blk_ir.dir/iexpr.cpp.o"
+  "CMakeFiles/blk_ir.dir/iexpr.cpp.o.d"
+  "CMakeFiles/blk_ir.dir/printer.cpp.o"
+  "CMakeFiles/blk_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/blk_ir.dir/program.cpp.o"
+  "CMakeFiles/blk_ir.dir/program.cpp.o.d"
+  "CMakeFiles/blk_ir.dir/stmt.cpp.o"
+  "CMakeFiles/blk_ir.dir/stmt.cpp.o.d"
+  "CMakeFiles/blk_ir.dir/validate.cpp.o"
+  "CMakeFiles/blk_ir.dir/validate.cpp.o.d"
+  "CMakeFiles/blk_ir.dir/vexpr.cpp.o"
+  "CMakeFiles/blk_ir.dir/vexpr.cpp.o.d"
+  "libblk_ir.a"
+  "libblk_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

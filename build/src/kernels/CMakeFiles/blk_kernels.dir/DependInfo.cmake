@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/conv.cpp" "src/kernels/CMakeFiles/blk_kernels.dir/conv.cpp.o" "gcc" "src/kernels/CMakeFiles/blk_kernels.dir/conv.cpp.o.d"
+  "/root/repo/src/kernels/ir_kernels.cpp" "src/kernels/CMakeFiles/blk_kernels.dir/ir_kernels.cpp.o" "gcc" "src/kernels/CMakeFiles/blk_kernels.dir/ir_kernels.cpp.o.d"
+  "/root/repo/src/kernels/lu.cpp" "src/kernels/CMakeFiles/blk_kernels.dir/lu.cpp.o" "gcc" "src/kernels/CMakeFiles/blk_kernels.dir/lu.cpp.o.d"
+  "/root/repo/src/kernels/lu_pivot.cpp" "src/kernels/CMakeFiles/blk_kernels.dir/lu_pivot.cpp.o" "gcc" "src/kernels/CMakeFiles/blk_kernels.dir/lu_pivot.cpp.o.d"
+  "/root/repo/src/kernels/matmul.cpp" "src/kernels/CMakeFiles/blk_kernels.dir/matmul.cpp.o" "gcc" "src/kernels/CMakeFiles/blk_kernels.dir/matmul.cpp.o.d"
+  "/root/repo/src/kernels/qr_givens.cpp" "src/kernels/CMakeFiles/blk_kernels.dir/qr_givens.cpp.o" "gcc" "src/kernels/CMakeFiles/blk_kernels.dir/qr_givens.cpp.o.d"
+  "/root/repo/src/kernels/qr_householder.cpp" "src/kernels/CMakeFiles/blk_kernels.dir/qr_householder.cpp.o" "gcc" "src/kernels/CMakeFiles/blk_kernels.dir/qr_householder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/blk_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

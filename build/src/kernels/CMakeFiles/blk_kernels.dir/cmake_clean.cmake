@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_kernels.dir/conv.cpp.o"
+  "CMakeFiles/blk_kernels.dir/conv.cpp.o.d"
+  "CMakeFiles/blk_kernels.dir/ir_kernels.cpp.o"
+  "CMakeFiles/blk_kernels.dir/ir_kernels.cpp.o.d"
+  "CMakeFiles/blk_kernels.dir/lu.cpp.o"
+  "CMakeFiles/blk_kernels.dir/lu.cpp.o.d"
+  "CMakeFiles/blk_kernels.dir/lu_pivot.cpp.o"
+  "CMakeFiles/blk_kernels.dir/lu_pivot.cpp.o.d"
+  "CMakeFiles/blk_kernels.dir/matmul.cpp.o"
+  "CMakeFiles/blk_kernels.dir/matmul.cpp.o.d"
+  "CMakeFiles/blk_kernels.dir/qr_givens.cpp.o"
+  "CMakeFiles/blk_kernels.dir/qr_givens.cpp.o.d"
+  "CMakeFiles/blk_kernels.dir/qr_householder.cpp.o"
+  "CMakeFiles/blk_kernels.dir/qr_householder.cpp.o.d"
+  "libblk_kernels.a"
+  "libblk_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

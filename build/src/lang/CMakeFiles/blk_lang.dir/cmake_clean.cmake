@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_lang.dir/blockdo.cpp.o"
+  "CMakeFiles/blk_lang.dir/blockdo.cpp.o.d"
+  "CMakeFiles/blk_lang.dir/lexer.cpp.o"
+  "CMakeFiles/blk_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/blk_lang.dir/parser.cpp.o"
+  "CMakeFiles/blk_lang.dir/parser.cpp.o.d"
+  "libblk_lang.a"
+  "libblk_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

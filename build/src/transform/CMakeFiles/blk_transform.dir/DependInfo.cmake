@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/blocking.cpp" "src/transform/CMakeFiles/blk_transform.dir/blocking.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/blocking.cpp.o.d"
+  "/root/repo/src/transform/distribute.cpp" "src/transform/CMakeFiles/blk_transform.dir/distribute.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/distribute.cpp.o.d"
+  "/root/repo/src/transform/fuse.cpp" "src/transform/CMakeFiles/blk_transform.dir/fuse.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/fuse.cpp.o.d"
+  "/root/repo/src/transform/ifinspect.cpp" "src/transform/CMakeFiles/blk_transform.dir/ifinspect.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/ifinspect.cpp.o.d"
+  "/root/repo/src/transform/interchange.cpp" "src/transform/CMakeFiles/blk_transform.dir/interchange.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/interchange.cpp.o.d"
+  "/root/repo/src/transform/pattern.cpp" "src/transform/CMakeFiles/blk_transform.dir/pattern.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/pattern.cpp.o.d"
+  "/root/repo/src/transform/scalarrepl.cpp" "src/transform/CMakeFiles/blk_transform.dir/scalarrepl.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/scalarrepl.cpp.o.d"
+  "/root/repo/src/transform/split.cpp" "src/transform/CMakeFiles/blk_transform.dir/split.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/split.cpp.o.d"
+  "/root/repo/src/transform/stripmine.cpp" "src/transform/CMakeFiles/blk_transform.dir/stripmine.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/stripmine.cpp.o.d"
+  "/root/repo/src/transform/unrolljam.cpp" "src/transform/CMakeFiles/blk_transform.dir/unrolljam.cpp.o" "gcc" "src/transform/CMakeFiles/blk_transform.dir/unrolljam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/blk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/blk_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

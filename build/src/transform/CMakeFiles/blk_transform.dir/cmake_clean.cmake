@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blk_transform.dir/blocking.cpp.o"
+  "CMakeFiles/blk_transform.dir/blocking.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/distribute.cpp.o"
+  "CMakeFiles/blk_transform.dir/distribute.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/fuse.cpp.o"
+  "CMakeFiles/blk_transform.dir/fuse.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/ifinspect.cpp.o"
+  "CMakeFiles/blk_transform.dir/ifinspect.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/interchange.cpp.o"
+  "CMakeFiles/blk_transform.dir/interchange.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/pattern.cpp.o"
+  "CMakeFiles/blk_transform.dir/pattern.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/scalarrepl.cpp.o"
+  "CMakeFiles/blk_transform.dir/scalarrepl.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/split.cpp.o"
+  "CMakeFiles/blk_transform.dir/split.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/stripmine.cpp.o"
+  "CMakeFiles/blk_transform.dir/stripmine.cpp.o.d"
+  "CMakeFiles/blk_transform.dir/unrolljam.cpp.o"
+  "CMakeFiles/blk_transform.dir/unrolljam.cpp.o.d"
+  "libblk_transform.a"
+  "libblk_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blk_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

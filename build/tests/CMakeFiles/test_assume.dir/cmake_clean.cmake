@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assume.dir/analysis/assume_test.cpp.o"
+  "CMakeFiles/test_assume.dir/analysis/assume_test.cpp.o.d"
+  "test_assume"
+  "test_assume.pdb"
+  "test_assume[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocklu.dir/transform/blocklu_test.cpp.o"
+  "CMakeFiles/test_blocklu.dir/transform/blocklu_test.cpp.o.d"
+  "test_blocklu"
+  "test_blocklu.pdb"
+  "test_blocklu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocklu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

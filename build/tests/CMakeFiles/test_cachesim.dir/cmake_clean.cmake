@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cachesim.dir/cachesim/cache_test.cpp.o"
+  "CMakeFiles/test_cachesim.dir/cachesim/cache_test.cpp.o.d"
+  "test_cachesim"
+  "test_cachesim.pdb"
+  "test_cachesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

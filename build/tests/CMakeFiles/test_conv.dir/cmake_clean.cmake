@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conv.dir/kernels/conv_test.cpp.o"
+  "CMakeFiles/test_conv.dir/kernels/conv_test.cpp.o.d"
+  "test_conv"
+  "test_conv.pdb"
+  "test_conv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

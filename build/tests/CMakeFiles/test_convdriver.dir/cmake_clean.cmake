@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_convdriver.dir/transform/convdriver_test.cpp.o"
+  "CMakeFiles/test_convdriver.dir/transform/convdriver_test.cpp.o.d"
+  "test_convdriver"
+  "test_convdriver.pdb"
+  "test_convdriver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_convdriver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddtest.dir/analysis/ddtest_test.cpp.o"
+  "CMakeFiles/test_ddtest.dir/analysis/ddtest_test.cpp.o.d"
+  "test_ddtest"
+  "test_ddtest.pdb"
+  "test_ddtest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuse.dir/transform/fuse_test.cpp.o"
+  "CMakeFiles/test_fuse.dir/transform/fuse_test.cpp.o.d"
+  "test_fuse"
+  "test_fuse.pdb"
+  "test_fuse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_givens_driver.dir/transform/givens_driver_test.cpp.o"
+  "CMakeFiles/test_givens_driver.dir/transform/givens_driver_test.cpp.o.d"
+  "test_givens_driver"
+  "test_givens_driver.pdb"
+  "test_givens_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_givens_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iexpr.dir/ir/iexpr_test.cpp.o"
+  "CMakeFiles/test_iexpr.dir/ir/iexpr_test.cpp.o.d"
+  "test_iexpr"
+  "test_iexpr.pdb"
+  "test_iexpr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iexpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ifinspect.dir/transform/ifinspect_test.cpp.o"
+  "CMakeFiles/test_ifinspect.dir/transform/ifinspect_test.cpp.o.d"
+  "test_ifinspect"
+  "test_ifinspect.pdb"
+  "test_ifinspect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ifinspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interchange.dir/transform/interchange_test.cpp.o"
+  "CMakeFiles/test_interchange.dir/transform/interchange_test.cpp.o.d"
+  "test_interchange"
+  "test_interchange.pdb"
+  "test_interchange[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lexer.dir/lang/lexer_test.cpp.o"
+  "CMakeFiles/test_lexer.dir/lang/lexer_test.cpp.o.d"
+  "test_lexer"
+  "test_lexer.pdb"
+  "test_lexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

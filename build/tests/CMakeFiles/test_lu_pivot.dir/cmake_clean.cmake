@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lu_pivot.dir/kernels/lu_pivot_test.cpp.o"
+  "CMakeFiles/test_lu_pivot.dir/kernels/lu_pivot_test.cpp.o.d"
+  "test_lu_pivot"
+  "test_lu_pivot.pdb"
+  "test_lu_pivot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lu_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

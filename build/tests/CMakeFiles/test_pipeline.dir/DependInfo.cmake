@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/pipeline_test.cpp" "tests/CMakeFiles/test_pipeline.dir/integration/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/test_pipeline.dir/integration/pipeline_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transform/CMakeFiles/blk_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/blk_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/blk_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/blk_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/blk_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/blk_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/blk_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reuse.dir/analysis/reuse_test.cpp.o"
+  "CMakeFiles/test_reuse.dir/analysis/reuse_test.cpp.o.d"
+  "test_reuse"
+  "test_reuse.pdb"
+  "test_reuse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scalarrepl.dir/transform/scalarrepl_test.cpp.o"
+  "CMakeFiles/test_scalarrepl.dir/transform/scalarrepl_test.cpp.o.d"
+  "test_scalarrepl"
+  "test_scalarrepl.pdb"
+  "test_scalarrepl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scalarrepl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

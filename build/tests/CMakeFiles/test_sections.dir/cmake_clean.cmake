@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sections.dir/analysis/sections_test.cpp.o"
+  "CMakeFiles/test_sections.dir/analysis/sections_test.cpp.o.d"
+  "test_sections"
+  "test_sections.pdb"
+  "test_sections[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

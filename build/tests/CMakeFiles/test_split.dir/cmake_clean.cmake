@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split.dir/transform/split_test.cpp.o"
+  "CMakeFiles/test_split.dir/transform/split_test.cpp.o.d"
+  "test_split"
+  "test_split.pdb"
+  "test_split[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

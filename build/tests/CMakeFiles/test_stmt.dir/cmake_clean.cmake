@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stmt.dir/ir/stmt_test.cpp.o"
+  "CMakeFiles/test_stmt.dir/ir/stmt_test.cpp.o.d"
+  "test_stmt"
+  "test_stmt.pdb"
+  "test_stmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stripmine.dir/transform/stripmine_test.cpp.o"
+  "CMakeFiles/test_stripmine.dir/transform/stripmine_test.cpp.o.d"
+  "test_stripmine"
+  "test_stripmine.pdb"
+  "test_stripmine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stripmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unrolljam.dir/transform/unrolljam_test.cpp.o"
+  "CMakeFiles/test_unrolljam.dir/transform/unrolljam_test.cpp.o.d"
+  "test_unrolljam"
+  "test_unrolljam.pdb"
+  "test_unrolljam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unrolljam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
