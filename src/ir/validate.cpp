@@ -56,16 +56,25 @@ struct Checker {
       complain("reference to undeclared array " + name + " in " + where);
       return;
     }
-    if (p.array_decl(name).rank() != subs.size())
+    const std::size_t rank = p.array_decl(name).rank();
+    if (rank != subs.size()) {
+      // Point at the first offending subscript position: the first excess
+      // one, or the first missing one just past the reference's last.
+      const std::size_t position = std::min(rank, subs.size()) + 1;
       complain("rank mismatch on " + name + " in " + where + ": declared " +
-               std::to_string(p.array_decl(name).rank()) + ", used with " +
-               std::to_string(subs.size()));
-    for (const auto& s : subs) {
-      if (!s) {
-        complain("null subscript on " + name + " in " + where);
+               std::to_string(rank) + ", used with " +
+               std::to_string(subs.size()) + " (first " +
+               (subs.size() > rank ? "excess" : "missing") +
+               " subscript at position " + std::to_string(position) + ")");
+    }
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      if (!subs[i]) {
+        complain("null subscript on " + name + " at position " +
+                 std::to_string(i + 1) + " in " + where);
         continue;
       }
-      check_iexpr(*s, where);
+      check_iexpr(*subs[i], "subscript " + std::to_string(i + 1) + " of " +
+                                name + " in " + where);
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include "ir/error.hpp"
 #include "transform/ifinspect.hpp"
+#include "transform/instrument.hpp"
 #include "transform/interchange.hpp"
 #include "transform/pattern.hpp"
 #include "transform/scalarrepl.hpp"
@@ -50,6 +51,7 @@ void simplify_bounds_rec(StmtList& body, Assumptions ctx) {
 }  // namespace
 
 void simplify_all_bounds(StmtList& body, const Assumptions& hints) {
+  PassScope scope("simplify-bounds", body);
   simplify_bounds_rec(body, hints);
 }
 
@@ -213,7 +215,7 @@ GivensOptResult optimize_givens(Program& p) {
 }
 
 void normalize_loop(StmtList& root, Loop& loop, long origin) {
-  (void)root;
+  PassScope scope("normalize", root);
   // var = var' + (lb - origin):  var' runs from origin to origin+(ub-lb).
   IExprPtr shift = simplify(isub(loop.lb, iconst(origin)));
   if (shift->kind == IKind::Const && shift->value == 0) return;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "ir/error.hpp"
+#include "transform/instrument.hpp"
 
 namespace blk::transform {
 
@@ -13,6 +14,7 @@ using analysis::DepGraph;
 std::vector<Loop*> distribute(StmtList& root, Loop& loop,
                               const analysis::Assumptions* ctx,
                               const IgnoreEdge& ignore) {
+  PassScope scope("distribute", root);
   DepGraph g(root, loop, ctx);
   std::vector<std::vector<std::size_t>> groups = g.components(ignore);
 

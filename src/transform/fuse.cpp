@@ -5,6 +5,7 @@
 
 #include "analysis/ddtest.hpp"
 #include "ir/error.hpp"
+#include "transform/instrument.hpp"
 
 namespace blk::transform {
 
@@ -58,6 +59,7 @@ void collect_subtree(const Stmt& s, std::set<const Stmt*>& out) {
 
 Loop& fuse(StmtList& root, Loop& first, bool check,
            const Assumptions* ctx) {
+  PassScope scope("fuse", root);
   LoopLocation loc = locate(root, first);
   StmtList& parent = *loc.parent;
   if (loc.index + 1 >= parent.size() ||
@@ -117,6 +119,7 @@ Loop& fuse(StmtList& root, Loop& first, bool check,
 
 void reverse_loop(StmtList& root, Loop& loop, bool check,
                   const Assumptions* ctx) {
+  PassScope scope("reverse", root);
   if (check) {
     auto deps = analysis::all_dependences(root, {.ctx = ctx});
     for (const auto& d : deps) {

@@ -7,6 +7,7 @@
 #include "ir/affine.hpp"
 #include "analysis/sections.hpp"
 #include "ir/error.hpp"
+#include "transform/instrument.hpp"
 #include "transform/scalarrepl.hpp"
 #include "transform/split.hpp"
 
@@ -103,6 +104,7 @@ std::vector<analysis::Dependence> blocking_deps(StmtList& root, Loop& loop,
 }  // namespace
 
 IfInspectResult if_inspect_auto(Program& p, StmtList& root, Loop& loop) {
+  PassScope scope("if-inspect-auto", root);
   if (loop.body.size() != 1 || loop.body[0]->kind() != SKind::If)
     throw Error("if_inspect_auto: loop " + loop.var +
                 " body must be a single guarded IF");
@@ -253,6 +255,7 @@ IfInspectResult if_inspect_auto(Program& p, StmtList& root, Loop& loop) {
 }
 
 IfInspectResult if_inspect(Program& p, StmtList& root, Loop& loop) {
+  PassScope scope("if-inspect", root);
   if (loop.body.size() != 1 || loop.body[0]->kind() != SKind::If)
     throw Error("if_inspect: loop " + loop.var +
                 " body must be a single guarded IF");

@@ -1,0 +1,35 @@
+#include "transform/instrument.hpp"
+
+#include <exception>
+
+namespace blk::transform {
+
+namespace {
+PassObserver* g_observer = nullptr;
+}  // namespace
+
+PassObserver* set_pass_observer(PassObserver* obs) {
+  PassObserver* prev = g_observer;
+  g_observer = obs;
+  return prev;
+}
+
+PassObserver* pass_observer() { return g_observer; }
+
+PassScope::PassScope(std::string_view name, ir::StmtList& root)
+    : name_(name),
+      root_(root),
+      uncaught_(std::uncaught_exceptions()),
+      active_(g_observer != nullptr) {
+  if (active_) g_observer->before_pass(name_, root_);
+}
+
+PassScope::~PassScope() {
+  if (!active_) return;
+  // The pass committed iff no new exception is in flight relative to
+  // construction time (legality refusals throw after undoing trials).
+  bool committed = std::uncaught_exceptions() == uncaught_;
+  if (g_observer) g_observer->after_pass(name_, root_, committed);
+}
+
+}  // namespace blk::transform

@@ -1,0 +1,52 @@
+// Pass instrumentation: every transformation entry point announces itself
+// through a process-wide observer hook so an external client — the
+// translation validator in src/verify — can snapshot the IR before a pass
+// and audit the result after it, without the passes knowing who watches.
+//
+// The hook is deliberately minimal: a pass wraps its body in a PassScope;
+// the observer receives before/after callbacks with the statement-tree
+// root the pass was asked to mutate.  Nested passes (a driver invoking
+// primitives) produce properly nested scopes, so observers can verify at
+// primitive granularity.  A pass that throws (legality refused, trial
+// undone) reports `committed = false` and observers discard the snapshot.
+#pragma once
+
+#include <string_view>
+
+#include "ir/stmt.hpp"
+
+namespace blk::transform {
+
+/// Client interface.  Callbacks run synchronously on the transforming
+/// thread; observers must not mutate the tree.
+class PassObserver {
+ public:
+  virtual ~PassObserver() = default;
+  virtual void before_pass(std::string_view name, ir::StmtList& root) = 0;
+  virtual void after_pass(std::string_view name, ir::StmtList& root,
+                          bool committed) = 0;
+};
+
+/// Install `obs` as the process-wide observer (nullptr uninstalls).
+/// Returns the previously installed observer so clients can chain/restore.
+PassObserver* set_pass_observer(PassObserver* obs);
+
+/// The currently installed observer (nullptr when none).
+[[nodiscard]] PassObserver* pass_observer();
+
+/// RAII marker placed at the top of each transformation entry point.
+class PassScope {
+ public:
+  PassScope(std::string_view name, ir::StmtList& root);
+  ~PassScope();
+  PassScope(const PassScope&) = delete;
+  PassScope& operator=(const PassScope&) = delete;
+
+ private:
+  std::string_view name_;
+  ir::StmtList& root_;
+  int uncaught_;
+  bool active_;
+};
+
+}  // namespace blk::transform

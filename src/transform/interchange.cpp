@@ -8,6 +8,7 @@
 #include "analysis/refs.hpp"
 #include "ir/affine.hpp"
 #include "ir/error.hpp"
+#include "transform/instrument.hpp"
 
 namespace blk::transform {
 
@@ -157,6 +158,7 @@ Loop& do_interchange(Loop& outer) {
 
 void interchange(StmtList& root, Loop& outer, bool check,
                  const Assumptions* ctx) {
+  PassScope scope("interchange", root);
   if (outer.body.size() != 1 || outer.body[0]->kind() != SKind::Loop)
     throw Error("interchange: loop " + outer.var +
                 " is not perfectly nested over a single inner loop");

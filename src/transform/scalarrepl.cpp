@@ -7,6 +7,7 @@
 #include "analysis/refs.hpp"
 #include "analysis/sections.hpp"
 #include "ir/error.hpp"
+#include "transform/instrument.hpp"
 
 namespace blk::transform {
 
@@ -114,6 +115,7 @@ void rewrite_group(StmtList& body, const std::string& array,
 
 int scalar_replace(Program& p, StmtList& root, Loop& loop,
                    const Assumptions& base) {
+  PassScope scope("scalar-replace", root);
   LoopLocation loc = locate(root, loop);
 
   // Context: caller facts + every loop range in the enclosing nest and
@@ -206,6 +208,7 @@ int scalar_replace(Program& p, StmtList& root, Loop& loop,
 }
 
 int scalar_replace_carried(Program& p, StmtList& root, Loop& loop) {
+  PassScope scope("scalar-replace-carried", root);
   if (!(loop.step->kind == IKind::Const && loop.step->value == 1)) return 0;
   LoopLocation loc = locate(root, loop);
 
@@ -305,6 +308,7 @@ int scalar_replace_carried(Program& p, StmtList& root, Loop& loop) {
 
 std::string scalar_expand(Program& p, StmtList& root, Loop& loop,
                           const std::string& name) {
+  PassScope scope("scalar-expand", root);
   if (!p.has_scalar(name))
     throw Error("scalar_expand: " + name + " is not a declared scalar");
 

@@ -7,6 +7,7 @@
 
 #include "ir/affine.hpp"
 #include "ir/error.hpp"
+#include "transform/instrument.hpp"
 #include "ir/printer.hpp"
 #include "transform/pattern.hpp"
 
@@ -51,6 +52,7 @@ LoopLocation locate(StmtList& root, const Loop& loop) {
 }  // namespace
 
 std::pair<Loop*, Loop*> split_at(StmtList& root, Loop& loop, IExprPtr point) {
+  PassScope scope("split", root);
   // The MIN/MAX bound construction below assumes ascending unit-step
   // iteration; reversed or strided loops would land in the wrong pieces
   // (or the wrong phase).
@@ -113,6 +115,7 @@ std::optional<CrossoverInfo> find_crossover(const Loop& inner,
 }  // namespace
 
 std::pair<Loop*, Loop*> split_trapezoid(StmtList& root, Loop& outer) {
+  PassScope scope("split-trapezoid", root);
   if (outer.body.size() != 1 || outer.body[0]->kind() != SKind::Loop)
     throw Error("split_trapezoid: " + outer.var +
                 " must perfectly enclose a single loop");
@@ -273,6 +276,7 @@ BodyShape shape_of(StmtList& root, Loop& carrier, const Assumptions& base,
 SplitReport index_set_split(StmtList& root, Loop& carrier,
                             const Assumptions& base,
                             bool use_commutativity) {
+  PassScope scope("index-set-split", root);
   SplitReport report;
   std::set<std::string> attempted;  // "var@point" keys, to guarantee progress
 

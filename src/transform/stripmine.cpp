@@ -1,12 +1,14 @@
 #include "transform/stripmine.hpp"
 
 #include "ir/error.hpp"
+#include "transform/instrument.hpp"
 
 namespace blk::transform {
 
 using namespace blk::ir;
 
 Loop& strip_mine(Program& p, Loop& loop, IExprPtr block, bool exact) {
+  PassScope scope("strip-mine", p.body);
   if (!(loop.step->kind == IKind::Const && loop.step->value == 1))
     throw Error("strip_mine: loop " + loop.var + " must have unit step");
 

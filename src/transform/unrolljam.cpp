@@ -5,6 +5,7 @@
 #include "analysis/ddtest.hpp"
 #include "ir/affine.hpp"
 #include "ir/error.hpp"
+#include "transform/instrument.hpp"
 
 namespace blk::transform {
 
@@ -166,6 +167,7 @@ bool unroll_and_jam_legal(StmtList& root, Loop& loop, long factor,
 
 void unroll_and_jam(StmtList& root, Loop& loop, long factor,
                     const Assumptions* ctx, bool check) {
+  PassScope scope("unroll-and-jam", root);
   if (factor < 2) throw Error("unroll_and_jam: factor must be >= 2");
   if (!(loop.step->kind == IKind::Const && loop.step->value == 1))
     throw Error("unroll_and_jam: loop must have unit step");
@@ -186,6 +188,7 @@ void unroll_and_jam(StmtList& root, Loop& loop, long factor,
 
 void unroll_and_jam_triangular(StmtList& root, Loop& loop, long factor,
                                const Assumptions* ctx, bool check) {
+  PassScope scope("unroll-and-jam-triangular", root);
   if (factor < 2)
     throw Error("unroll_and_jam_triangular: factor must be >= 2");
   if (loop.body.size() != 1 || loop.body[0]->kind() != SKind::Loop)

@@ -1,0 +1,64 @@
+#include "verify/diagnostic.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace blk::verify {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << verify::to_string(severity) << " [" << code << "] " << message;
+  if (subscript > 0) os << " (subscript " << subscript << ")";
+  if (!where.empty()) os << "\n    at " << where;
+  return os.str();
+}
+
+bool Report::ok() const {
+  return std::none_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::Error;
+  });
+}
+
+std::size_t Report::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Error;
+      }));
+}
+
+std::size_t Report::warning_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diags.begin(), diags.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Warning;
+      }));
+}
+
+std::string Report::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diags) os << d.to_string() << "\n";
+  return os.str();
+}
+
+void Report::add(Severity sev, std::string code, std::string message,
+                 std::string where, int subscript) {
+  diags.push_back({.severity = sev,
+                   .code = std::move(code),
+                   .message = std::move(message),
+                   .where = std::move(where),
+                   .subscript = subscript});
+}
+
+void Report::merge(const Report& other) {
+  diags.insert(diags.end(), other.diags.begin(), other.diags.end());
+}
+
+}  // namespace blk::verify

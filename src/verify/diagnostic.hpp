@@ -1,0 +1,43 @@
+// Diagnostics shared by the verification passes (lint, dependence check,
+// pipeline harness).  One entry point, one format: every finding carries a
+// severity, a stable machine-readable code, a human message and the
+// statement path it anchors to, so tools (blk-verify, the fuzzer, tests)
+// can filter and render uniformly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace blk::verify {
+
+enum class Severity : int { Note = 0, Warning = 1, Error = 2 };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;     ///< stable id, e.g. "oob-subscript", "dep-broken"
+  std::string message;  ///< human-readable finding
+  std::string where;    ///< statement path, e.g. "DO K > DO I > A(I,K)=..."
+  int subscript = 0;    ///< offending subscript position (1-based), 0 = n/a
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Outcome of one verification pass.
+struct Report {
+  std::vector<Diagnostic> diags;
+
+  /// True when no diagnostic reaches Error severity.
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] std::size_t error_count() const;
+  [[nodiscard]] std::size_t warning_count() const;
+  [[nodiscard]] std::string to_string() const;
+
+  void add(Severity sev, std::string code, std::string message,
+           std::string where = {}, int subscript = 0);
+  /// Append every diagnostic of `other`.
+  void merge(const Report& other);
+};
+
+}  // namespace blk::verify

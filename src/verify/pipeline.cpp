@@ -1,0 +1,100 @@
+#include "verify/pipeline.hpp"
+
+#include <sstream>
+
+#include "ir/error.hpp"
+
+namespace blk::verify {
+
+Policy policy_for(std::string_view pass) {
+  // Pure reordering passes: statement instances are moved, cloned or
+  // re-indexed, but every value still flows the same way — the dependence
+  // set must be preserved.
+  static constexpr std::string_view kReordering[] = {
+      "strip-mine",     "split",
+      "split-trapezoid", "index-set-split",
+      "interchange",    "distribute",
+      "fuse",           "reverse",
+      "unroll-and-jam", "unroll-and-jam-triangular",
+      "normalize",
+  };
+  for (std::string_view name : kReordering)
+    if (pass == name) return Policy::Full;
+  return Policy::LintOnly;
+}
+
+VerifiedPipeline::VerifiedPipeline(ir::Program& prog, DepCheckOptions opt)
+    : prog_(prog), opt_(opt), prev_(transform::set_pass_observer(this)) {}
+
+VerifiedPipeline::~VerifiedPipeline() {
+  transform::set_pass_observer(prev_);
+}
+
+void VerifiedPipeline::before_pass(std::string_view /*name*/,
+                                   ir::StmtList& /*root*/) {
+  snapshots_.push_back(prog_.clone());
+}
+
+void VerifiedPipeline::after_pass(std::string_view name,
+                                  ir::StmtList& /*root*/, bool committed) {
+  if (snapshots_.empty()) return;  // unmatched callback; be defensive
+  ir::Program pre = std::move(snapshots_.back());
+  snapshots_.pop_back();
+
+  StepReport step{.pass = std::string(name),
+                  .committed = committed,
+                  .policy = policy_for(name),
+                  .report = {}};
+  if (committed) {
+    try {
+      if (step.policy == Policy::Full)
+        step.report.merge(check_dependence_preservation(pre, prog_, opt_));
+      step.report.merge(lint(prog_, {.ctx = opt_.ctx, .pedantic = false}));
+    } catch (const std::exception& e) {
+      step.report.add(Severity::Error, "verifier-error",
+                      std::string("verification itself failed: ") + e.what());
+    }
+  }
+  steps_.push_back(std::move(step));
+}
+
+bool VerifiedPipeline::ok() const {
+  for (const StepReport& s : steps_)
+    if (!s.report.ok()) return false;
+  return true;
+}
+
+Report VerifiedPipeline::combined() const {
+  Report out;
+  for (const StepReport& s : steps_) {
+    for (Diagnostic d : s.report.diags) {
+      d.message = "[after " + s.pass + "] " + d.message;
+      out.diags.push_back(std::move(d));
+    }
+  }
+  return out;
+}
+
+std::string VerifiedPipeline::to_string() const {
+  std::ostringstream os;
+  for (const StepReport& s : steps_) {
+    os << s.pass << ": "
+       << (!s.committed        ? "aborted (not verified)"
+           : s.report.ok()     ? "ok"
+                               : "FAILED")
+       << (s.policy == Policy::Full && s.committed ? " [dep+lint]"
+           : s.committed                           ? " [lint]"
+                                                   : "")
+       << "\n";
+    for (const Diagnostic& d : s.report.diags) os << "  " << d.to_string()
+                                                  << "\n";
+  }
+  return os.str();
+}
+
+void VerifiedPipeline::throw_if_failed() const {
+  if (ok()) return;
+  throw blk::Error("verified pipeline failed:\n" + to_string());
+}
+
+}  // namespace blk::verify

@@ -21,6 +21,7 @@
 #include "transform/split.hpp"
 #include "transform/stripmine.hpp"
 #include "transform/unrolljam.hpp"
+#include "verify/pipeline.hpp"
 
 namespace blk {
 namespace {
@@ -160,7 +161,14 @@ TEST_P(TransformFuzz, RandomSequencesPreserveSemantics) {
   for (int round = 0; round < 6; ++round) {
     Program original = gen.program();
     Program mutated = original.clone();
-    gen.mutate(mutated, 5);
+    {
+      // Translation-validate every committed pass: the legality system and
+      // the independent dependence-preservation checker must agree.
+      verify::VerifiedPipeline vp(mutated);
+      gen.mutate(mutated, 5);
+      ASSERT_TRUE(vp.ok()) << "seed " << GetParam() << " round " << round
+                           << "\n" << vp.to_string() << print(mutated.body);
+    }
     // Structural invariants must survive every transformation sequence.
     ASSERT_TRUE(validate(mutated).empty())
         << validate(mutated).front() << "\n" << print(mutated.body);

@@ -1,0 +1,167 @@
+// blk-verify: lint a mini-Fortran program from the command line.
+//
+//   blk-verify [options] file.f...        (or `-` / no file for stdin)
+//
+// Options:
+//   --assume FACT   add a symbolic fact for the bounds proofs; FACT is
+//                   `lhs<=rhs` or `lhs>=rhs` over parameters and integer
+//                   literals (e.g. --assume 'N>=1', --assume 'KS<=N')
+//   --pedantic      also report what could not be proven (notes)
+//   --quiet         print nothing, just set the exit status
+//
+// Exit status: 0 when the program lints clean of errors (warnings and
+// notes allowed), 1 on lint errors, 2 on usage/compile failures.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/assume.hpp"
+#include "ir/error.hpp"
+#include "ir/iexpr.hpp"
+#include "ir/printer.hpp"
+#include "lang/parser.hpp"
+#include "verify/lint.hpp"
+
+namespace {
+
+using blk::ir::IExprPtr;
+
+/// Parse a fact expression: integer literals, names, `+`/`-` chains.
+/// Minimal by design — enough to state driver hints like `K+KS-1<=N-1`.
+IExprPtr parse_term(const std::string& text) {
+  IExprPtr acc;
+  std::size_t i = 0;
+  int sign = 1;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '+') { sign = 1; ++i; continue; }
+    if (c == '-') { sign = -1; ++i; continue; }
+    IExprPtr piece;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[j])))
+        ++j;
+      piece = blk::ir::iconst(std::stol(text.substr(i, j - i)));
+      i = j;
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_'))
+        ++j;
+      piece = blk::ir::ivar(text.substr(i, j - i));
+      i = j;
+    } else {
+      throw blk::Error(std::string("--assume: unexpected character '") + c +
+                       "'");
+    }
+    if (sign < 0) piece = blk::ir::isub(blk::ir::iconst(0), std::move(piece));
+    acc = acc ? blk::ir::iadd(std::move(acc), std::move(piece))
+              : std::move(piece);
+  }
+  if (!acc) throw blk::Error("--assume: empty expression");
+  return acc;
+}
+
+void add_assumption(blk::analysis::Assumptions& ctx, const std::string& raw) {
+  std::string fact;
+  for (char c : raw)
+    if (!std::isspace(static_cast<unsigned char>(c))) fact += c;
+  for (const char* op : {"<=", ">="}) {
+    auto pos = fact.find(op);
+    if (pos == std::string::npos) continue;
+    IExprPtr lhs = parse_term(fact.substr(0, pos));
+    IExprPtr rhs = parse_term(fact.substr(pos + 2));
+    if (op[0] == '<')
+      ctx.assert_le(lhs, rhs);
+    else
+      ctx.assert_ge(lhs, rhs);
+    return;
+  }
+  throw blk::Error("--assume: expected '<=' or '>=' in '" + raw + "'");
+}
+
+std::string read_all(std::istream& in) {
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  blk::analysis::Assumptions ctx;
+  bool pedantic = false;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--pedantic") {
+      pedantic = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--assume") {
+      if (i + 1 >= argc) {
+        std::cerr << "blk-verify: --assume needs an argument\n";
+        return 2;
+      }
+      try {
+        add_assumption(ctx, argv[++i]);
+      } catch (const std::exception& e) {
+        std::cerr << "blk-verify: " << e.what() << "\n";
+        return 2;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: blk-verify [--assume FACT]... [--pedantic] "
+                   "[--quiet] [file.f ...]\n";
+      return 0;
+    } else if (arg.size() > 1 && arg[0] == '-') {
+      std::cerr << "blk-verify: unknown option '" << arg
+                << "' (see --help)\n";
+      return 2;
+    } else {
+      files.push_back(std::move(arg));
+    }
+  }
+  if (files.empty()) files.emplace_back("-");
+
+  bool any_error = false;
+  for (const std::string& file : files) {
+    std::string source;
+    if (file == "-") {
+      source = read_all(std::cin);
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "blk-verify: cannot open " << file << "\n";
+        return 2;
+      }
+      source = read_all(in);
+    }
+
+    blk::lang::CompileResult compiled;
+    try {
+      compiled = blk::lang::compile(source);
+    } catch (const std::exception& e) {
+      std::cerr << (file == "-" ? "<stdin>" : file)
+                << ": compile error: " << e.what() << "\n";
+      return 2;
+    }
+
+    blk::verify::Report report = blk::verify::lint(
+        compiled.program, {.ctx = &ctx, .pedantic = pedantic});
+    if (!quiet) {
+      const std::string label = file == "-" ? "<stdin>" : file;
+      for (const auto& d : report.diags)
+        std::cout << label << ": " << d.to_string() << "\n";
+      std::cout << label << ": " << report.error_count() << " error(s), "
+                << report.warning_count() << " warning(s)\n";
+    }
+    any_error = any_error || !report.ok();
+  }
+  return any_error ? 1 : 0;
+}
