@@ -6,11 +6,80 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
 namespace blk::bench {
+
+/// Machine-readable result sink, opt-in via `--bench_json=<path>`.  Rows
+/// are emitted as a JSON array of {benchmark, seconds, speedup_vs_baseline}
+/// objects; speedup is null for baseline rows.  CI uploads these files as
+/// artifacts so perf history survives the run.
+class JsonWriter {
+ public:
+  /// `path` may be empty (writer disabled).
+  explicit JsonWriter(std::string path) : path_(std::move(path)) {}
+
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void row(const std::string& benchmark, double seconds,
+           double speedup_vs_baseline = -1.0) {
+    rows_.push_back({benchmark, seconds, speedup_vs_baseline});
+  }
+
+  /// Write the collected rows; returns false when disabled or on I/O error.
+  bool write() const {
+    if (!enabled()) return false;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
+      return false;
+    }
+    std::fprintf(f, "[\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& r = rows_[i];
+      std::fprintf(f, "  {\"benchmark\": \"%s\", \"seconds\": %.9g, ",
+                   r.benchmark.c_str(), r.seconds);
+      if (r.speedup > 0)
+        std::fprintf(f, "\"speedup_vs_baseline\": %.6g}", r.speedup);
+      else
+        std::fprintf(f, "\"speedup_vs_baseline\": null}");
+      std::fprintf(f, i + 1 < rows_.size() ? ",\n" : "\n");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  struct Row {
+    std::string benchmark;
+    double seconds;
+    double speedup;
+  };
+  std::string path_;
+  std::vector<Row> rows_;
+};
+
+/// Pull `--bench_json=<path>` out of argv (google-benchmark rejects flags
+/// it does not know).  Returns `fallback` when the flag is absent; pass an
+/// empty fallback to keep JSON opt-in.
+inline std::string extract_json_path(int& argc, char** argv,
+                                     const std::string& fallback = "") {
+  const char* kFlag = "--bench_json=";
+  std::string path = fallback;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0)
+      path = argv[i] + std::strlen(kFlag);
+    else
+      argv[out++] = argv[i];
+  }
+  argc = out;
+  return path;
+}
 
 /// Console reporter that also records mean per-iteration real time (s)
 /// under each benchmark's full name ("BM_LuPoint/300").

@@ -5,7 +5,7 @@
 //   $ ./examples/blockdo_language
 #include <cstdio>
 
-#include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
 #include "lang/blockdo.hpp"
@@ -65,8 +65,8 @@ int main() {
   lang::bind_block_sizes(cr, sizes);
   ir::Program point = kernels::lu_point_ir();
   const long n = 40;
-  interp::Interpreter ia(point, {{"N", n}});
-  interp::Interpreter ib(cr.program, {{"N", n}});
+  interp::ExecEngine ia(point, {{"N", n}});
+  interp::ExecEngine ib(cr.program, {{"N", n}});
   for (auto* in : {&ia, &ib}) {
     auto& t = in->store().arrays.at("A");
     interp::fill_random(t, 7);

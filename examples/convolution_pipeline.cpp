@@ -8,7 +8,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/printer.hpp"
 #include "kernels/conv.hpp"
 #include "kernels/ir_kernels.hpp"
@@ -42,7 +42,7 @@ int main() {
   const long size = 40;
   ir::Env env{{"N1", size - 1}, {"N2", 6 * (size - 1) / 7},
               {"N3", size - 1}};
-  interp::Interpreter ia(orig, env), ib(p, env);
+  interp::ExecEngine ia(orig, env), ib(p, env);
   for (auto* in : {&ia, &ib}) {
     std::uint64_t k = 5;
     for (auto& [name, t] : in->store().arrays) interp::fill_random(t, ++k);

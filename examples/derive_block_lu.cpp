@@ -7,7 +7,7 @@
 #include <cstdio>
 
 #include "cachesim/cache.hpp"
-#include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
@@ -42,8 +42,8 @@ int main() {
   // Numeric identity with the point algorithm, including ragged blocks.
   for (long n : {30L, 43L}) {
     for (long ks : {8L, 7L}) {
-      interp::Interpreter ia(point, {{"N", n}});
-      interp::Interpreter ib(blocked, {{"N", n}, {"KS", ks}});
+      interp::ExecEngine ia(point, {{"N", n}});
+      interp::ExecEngine ib(blocked, {{"N", n}, {"KS", ks}});
       for (auto* in : {&ia, &ib}) {
         auto& t = in->store().arrays.at("A");
         interp::fill_random(t, 42);

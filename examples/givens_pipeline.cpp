@@ -5,7 +5,7 @@
 #include <chrono>
 #include <cstdio>
 
-#include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
 #include "kernels/qr_givens.hpp"
@@ -27,8 +27,8 @@ int main() {
 
   // Identical results on the interpreter.
   const long m = 18, n = 14;
-  interp::Interpreter ia(orig, {{"M", m}, {"N", n}});
-  interp::Interpreter ib(p, {{"M", m}, {"N", n}});
+  interp::ExecEngine ia(orig, {{"M", m}, {"N", n}});
+  interp::ExecEngine ib(p, {{"M", m}, {"N", n}});
   for (auto* in : {&ia, &ib}) {
     auto& t = in->store().arrays.at("A");
     interp::fill_random(t, 8);

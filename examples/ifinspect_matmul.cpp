@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <random>
 
-#include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
 #include "kernels/matmul.hpp"
@@ -30,15 +30,15 @@ int main() {
 
   // Verify on random guards.
   const long n = 24;
-  interp::Interpreter ia(p, {{"N", n}});
-  interp::Interpreter ib(inspected, {{"N", n}});
+  interp::ExecEngine ia(p, {{"N", n}});
+  interp::ExecEngine ib(inspected, {{"N", n}});
   std::mt19937_64 rng(3);
   std::uniform_real_distribution<double> coin(0.0, 1.0);
   for (auto* in : {&ia, &ib}) {
     std::uint64_t s = 11;
     for (auto& [name, t] : in->store().arrays) interp::fill_random(t, ++s);
   }
-  auto plant = [&](interp::Interpreter& in, std::uint64_t seed) {
+  auto plant = [&](interp::ExecEngine& in, std::uint64_t seed) {
     std::mt19937_64 r2(seed);
     for (double& x : in.store().arrays.at("B").flat())
       x = coin(r2) < 0.2 ? 1.0 : 0.0;

@@ -5,7 +5,7 @@
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
 #include "transform/blocking.hpp"
@@ -44,8 +44,8 @@ int main() {
   ir::Env env{{"N", 100}, {"M", 1000}};
   ir::Env benv = env;
   benv["JS"] = 16;
-  interp::Interpreter ia(p, env);
-  interp::Interpreter ib(blocked, benv);
+  interp::ExecEngine ia(p, env);
+  interp::ExecEngine ib(blocked, benv);
   for (auto& [name, t] : ia.store().arrays) interp::fill_random(t, 1);
   for (auto& [name, t] : ib.store().arrays) interp::fill_random(t, 1);
   ia.run();

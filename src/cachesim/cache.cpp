@@ -3,6 +3,7 @@
 #include <bit>
 #include <sstream>
 
+#include "interp/vm.hpp"
 #include "ir/error.hpp"
 
 namespace blk::cachesim {
@@ -55,23 +56,36 @@ bool Cache::access(std::uint64_t addr) {
   return false;
 }
 
+void Cache::simulate(std::span<const interp::TraceRecord> recs) {
+  for (const interp::TraceRecord& r : recs) access(r.addr);
+}
+
 void Cache::reset() {
   lines_.assign(lines_.size(), Line{});
   clock_ = 0;
   stats_ = CacheStats{};
 }
 
+namespace {
+
+/// Records streamed from the VM to the cache, a batch at a time; keeps
+/// arbitrarily long traces (N=300 LU is ~10^8 accesses) in constant memory.
+constexpr std::size_t kTraceBatch = 1 << 20;
+
+}  // namespace
+
 CacheStats simulate(const ir::Program& p, const ir::Env& params,
                     const CacheConfig& cfg, std::uint64_t seed) {
-  interp::Interpreter in(p, params);
-  for (auto& [name, t] : in.store().arrays) {
-    std::uint64_t k = seed;
-    for (char ch : name)
-      k = k * 1099511628211ULL + static_cast<unsigned char>(ch);
-    interp::fill_random(t, k);
-  }
+  interp::ExecEngine eng(p, params);
+  interp::seed_store(eng.store(), seed);
   Cache cache(cfg);
-  in.run(cache.trace_fn());
+  interp::TraceBuffer buf(
+      kTraceBatch,
+      [&cache](std::span<const interp::TraceRecord> recs) {
+        cache.simulate(recs);
+      });
+  eng.run(buf);
+  buf.flush();
   return cache.stats();
 }
 
@@ -85,6 +99,10 @@ std::size_t Hierarchy::access(std::uint64_t addr) {
   for (std::size_t i = 0; i < levels_.size(); ++i)
     if (levels_[i].access(addr)) return i;
   return levels_.size();
+}
+
+void Hierarchy::simulate(std::span<const interp::TraceRecord> recs) {
+  for (const interp::TraceRecord& r : recs) access(r.addr);
 }
 
 void Hierarchy::reset() {
@@ -110,15 +128,14 @@ std::vector<CacheStats> simulate_hierarchy(const ir::Program& p,
                                            const ir::Env& params,
                                            std::vector<CacheConfig> levels,
                                            std::uint64_t seed) {
-  interp::Interpreter in(p, params);
-  for (auto& [name, t] : in.store().arrays) {
-    std::uint64_t k = seed;
-    for (char ch : name)
-      k = k * 1099511628211ULL + static_cast<unsigned char>(ch);
-    interp::fill_random(t, k);
-  }
+  interp::ExecEngine eng(p, params);
+  interp::seed_store(eng.store(), seed);
   Hierarchy h(std::move(levels));
-  in.run(h.trace_fn());
+  interp::TraceBuffer buf(
+      kTraceBatch,
+      [&h](std::span<const interp::TraceRecord> recs) { h.simulate(recs); });
+  eng.run(buf);
+  buf.flush();
   std::vector<CacheStats> out;
   for (std::size_t i = 0; i < h.num_levels(); ++i)
     out.push_back(h.stats(i));

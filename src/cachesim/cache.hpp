@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "interp/interp.hpp"
+#include "interp/trace.hpp"
 
 namespace blk::cachesim {
 
@@ -48,6 +50,12 @@ class Cache {
   /// Simulate one access; returns true on hit.  Write-allocate policy:
   /// reads and writes are treated identically for residency.
   bool access(std::uint64_t addr);
+
+  /// Replay a whole trace batch (equivalent to calling access() per
+  /// record, without per-access callback overhead).  Pairs with the VM's
+  /// TraceBuffer: pass it as the buffer's flush sink to stream traces of
+  /// any length through the cache in constant memory.
+  void simulate(std::span<const interp::TraceRecord> recs);
 
   void reset();
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
@@ -88,6 +96,9 @@ class Hierarchy {
   /// Simulate one access; returns the level that hit (0-based), or the
   /// number of levels when it missed everywhere (memory).
   std::size_t access(std::uint64_t addr);
+
+  /// Bulk replay of a trace batch through every level.
+  void simulate(std::span<const interp::TraceRecord> recs);
 
   [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
   [[nodiscard]] const CacheStats& stats(std::size_t level) const {

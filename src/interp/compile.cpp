@@ -1,0 +1,620 @@
+#include "interp/compile.hpp"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "ir/error.hpp"
+
+namespace blk::interp {
+namespace {
+
+using namespace blk::ir;
+
+/// Symbolic affine value over in-scope loop variables: c0 + sum(coef*var).
+/// Parameters fold into c0 (compilation is per parameter binding).
+struct Aff {
+  long c0 = 0;
+  std::map<std::string, long> coef;
+
+  [[nodiscard]] long coef_of(const std::string& var) const {
+    auto it = coef.find(var);
+    return it == coef.end() ? 0 : it->second;
+  }
+};
+
+class Compiler {
+ public:
+  Compiler(const ir::Program& p, const ir::Env& params, const Store& store)
+      : p_(p), params_(params), store_(store) {
+    for (const auto& [name, t] : store_.arrays) {
+      array_slot_.emplace(name, static_cast<std::int32_t>(
+                                    out_.array_names.size()));
+      out_.array_names.push_back(name);
+    }
+    // Scalar slots cover every declared scalar plus every scalar assigned
+    // anywhere in the program (the tree-walker's scalar map is permissive
+    // on write); reads of names outside this set become runtime errors.
+    for (const auto& s : p_.scalars()) scal_slot_ref(s);
+    for_each_stmt(p_.body, [&](const Stmt& s) {
+      if (s.kind() == SKind::Assign && !s.as_assign().lhs.is_array())
+        scal_slot_ref(s.as_assign().lhs.name);
+    });
+  }
+
+  [[nodiscard]] CompiledProgram run() {
+    Buf code;
+    compile_list(p_.body, code);
+    code.push_back({.op = Op::Halt});
+    out_.code = std::move(code);
+    return std::move(out_);
+  }
+
+ private:
+  using Buf = std::vector<Insn>;
+
+  struct LoopCtx {
+    std::string var;
+    std::int32_t var_reg = -1;
+    bool step_const = false;
+    long step_val = 0;
+    int base_if_depth = 0;  ///< if_depth_ when the loop body began
+    std::vector<std::int32_t> hoisted_sites;  ///< inits in this preheader
+  };
+
+  const ir::Program& p_;
+  const ir::Env& params_;
+  const Store& store_;
+  CompiledProgram out_;
+  std::map<std::string, std::int32_t> array_slot_;
+  std::map<std::string, std::int32_t> scal_slot_;
+  std::vector<LoopCtx> loops_;
+  int if_depth_ = 0;
+
+  std::int32_t ireg() { return out_.n_ireg++; }
+  std::int32_t freg() { return out_.n_freg++; }
+
+  std::int32_t scal_slot_ref(const std::string& name) {
+    auto [it, fresh] = scal_slot_.emplace(
+        name, static_cast<std::int32_t>(out_.scal_names.size()));
+    if (fresh) out_.scal_names.push_back(name);
+    return it->second;
+  }
+
+  void fail(Buf& b, std::string m) {
+    out_.msgs.push_back(std::move(m));
+    b.push_back({.op = Op::Fail,
+                 .a = static_cast<std::int32_t>(out_.msgs.size() - 1)});
+  }
+
+  /// Splice `src` onto `dst`, rebasing every absolute jump target.
+  static void splice(Buf& dst, Buf&& src) {
+    const auto base = static_cast<std::int32_t>(dst.size());
+    for (Insn& in : src) {
+      if (in.op == Op::Jump || in.op == Op::LoopGuard ||
+          in.op == Op::LoopEnd || in.op == Op::CondJump)
+        in.a += base;
+      dst.push_back(in);
+    }
+  }
+
+  [[nodiscard]] const LoopCtx* find_loop_var(const std::string& name) const {
+    for (auto it = loops_.rbegin(); it != loops_.rend(); ++it)
+      if (it->var == name) return &*it;
+    return nullptr;
+  }
+
+  /// Affine view of an index expression, or nullopt when it needs the
+  /// general evaluator (MIN/MAX, division, ArrayElem, scalar fallback).
+  [[nodiscard]] std::optional<Aff> affine_of(const IExpr& e) const {
+    switch (e.kind) {
+      case IKind::Const:
+        return Aff{.c0 = e.value, .coef = {}};
+      case IKind::Var: {
+        // Loop bindings shadow parameters, as in the tree-walker's env.
+        if (const LoopCtx* l = find_loop_var(e.name))
+          return Aff{.c0 = 0, .coef = {{l->var, 1}}};
+        if (auto it = params_.find(e.name); it != params_.end())
+          return Aff{.c0 = it->second, .coef = {}};
+        return std::nullopt;  // runtime scalar fallback
+      }
+      case IKind::Add:
+      case IKind::Sub: {
+        auto l = affine_of(*e.lhs);
+        auto r = affine_of(*e.rhs);
+        if (!l || !r) return std::nullopt;
+        const long sign = e.kind == IKind::Add ? 1 : -1;
+        l->c0 += sign * r->c0;
+        for (const auto& [v, k] : r->coef) {
+          long& c = l->coef[v];
+          c += sign * k;
+          if (c == 0) l->coef.erase(v);
+        }
+        return l;
+      }
+      case IKind::Mul: {
+        auto l = affine_of(*e.lhs);
+        auto r = affine_of(*e.rhs);
+        if (!l || !r) return std::nullopt;
+        if (!l->coef.empty() && !r->coef.empty()) return std::nullopt;
+        if (!l->coef.empty()) std::swap(l, r);  // l is now the constant
+        for (auto& [v, k] : r->coef) k *= l->c0;
+        r->c0 *= l->c0;
+        if (l->c0 == 0) r->coef.clear();
+        return r;
+      }
+      default:
+        return std::nullopt;
+    }
+  }
+
+  [[nodiscard]] AffineForm lower_form(const Aff& a) const {
+    AffineForm f{.c0 = a.c0, .terms = {}};
+    for (const auto& [v, k] : a.coef) {
+      const LoopCtx* l = find_loop_var(v);
+      f.terms.emplace_back(l->var_reg, k);
+    }
+    return f;
+  }
+
+  // ---- Index expressions ----------------------------------------------------
+
+  std::int32_t eval_i(const IExpr& e, Buf& b) {
+    if (auto af = affine_of(e); af && af->coef.empty()) {
+      std::int32_t r = ireg();
+      b.push_back({.op = Op::IConst, .a = r, .imm = af->c0});
+      return r;
+    }
+    switch (e.kind) {
+      case IKind::Const: {
+        std::int32_t r = ireg();
+        b.push_back({.op = Op::IConst, .a = r, .imm = e.value});
+        return r;
+      }
+      case IKind::Var: {
+        if (const LoopCtx* l = find_loop_var(e.name)) return l->var_reg;
+        // Parameters were folded above; what remains is an integer-valued
+        // runtime scalar (IF-inspection counter, pivot row) or an error.
+        if (auto it = scal_slot_.find(e.name); it != scal_slot_.end()) {
+          std::int32_t r = ireg();
+          b.push_back({.op = Op::ILoadScalar, .a = r, .b = it->second});
+          return r;
+        }
+        fail(b, "VM: unbound index variable " + e.name);
+        return ireg();
+      }
+      case IKind::Add:
+      case IKind::Sub:
+      case IKind::Mul:
+      case IKind::Min:
+      case IKind::Max: {
+        const std::int32_t l = eval_i(*e.lhs, b);
+        const std::int32_t r = eval_i(*e.rhs, b);
+        const std::int32_t d = ireg();
+        Op op = Op::IAdd;
+        switch (e.kind) {
+          case IKind::Add: op = Op::IAdd; break;
+          case IKind::Sub: op = Op::ISub; break;
+          case IKind::Mul: op = Op::IMul; break;
+          case IKind::Min: op = Op::IMin; break;
+          case IKind::Max: op = Op::IMax; break;
+          default: break;
+        }
+        b.push_back({.op = op, .a = d, .b = l, .c = r});
+        return d;
+      }
+      case IKind::FloorDiv:
+      case IKind::CeilDiv: {
+        const std::int32_t l = eval_i(*e.lhs, b);
+        const std::int32_t r = eval_i(*e.rhs, b);
+        const std::int32_t d = ireg();
+        b.push_back({.op = Op::IDiv,
+                     .aux = static_cast<std::uint8_t>(
+                         e.kind == IKind::CeilDiv ? 1 : 0),
+                     .a = d,
+                     .b = l,
+                     .c = r});
+        return d;
+      }
+      case IKind::ArrayElem: {
+        const std::int32_t idx = eval_i(*e.lhs, b);
+        auto it = store_.arrays.find(e.name);
+        if (it == store_.arrays.end()) {
+          fail(b, "VM: undeclared array " + e.name);
+          return ireg();
+        }
+        const Tensor& t = it->second;
+        if (t.rank() != 1) {
+          fail(b, "VM: rank-" + std::to_string(t.rank()) + " array " +
+                      e.name + " used as index element");
+          return ireg();
+        }
+        AccessSite site;
+        site.array = array_slot_.at(e.name);
+        site.name = e.name;
+        site.dims.push_back({.idx_reg = idx,
+                             .lb = t.lower(0),
+                             .ub = t.upper(0),
+                             .stride = 1,
+                             .form = {},
+                             .delta = 0});
+        out_.sites.push_back(std::move(site));
+        const std::int32_t r = ireg();
+        b.push_back({.op = Op::ILoadElem,
+                     .a = r,
+                     .b = static_cast<std::int32_t>(out_.sites.size() - 1)});
+        return r;
+      }
+    }
+    throw Error("compile: corrupt IExpr");
+  }
+
+  // ---- Array accesses -------------------------------------------------------
+
+  /// Compile one element access.  `io_freg` is the destination (load) or
+  /// source (store) floating register.  `count_stmt` folds the enclosing
+  /// assignment's statement count into the store dispatch (aux bit 1).
+  void access(const std::string& name, const std::vector<IExprPtr>& subs,
+              bool is_store, std::int32_t io_freg, Buf& b,
+              bool count_stmt = false) {
+    auto it = store_.arrays.find(name);
+    const bool rank_ok =
+        it != store_.arrays.end() && subs.size() == it->second.rank();
+    if (!rank_ok) {
+      // Match the tree-walker's event order: subscripts evaluate (tracing
+      // any ArrayElem reads) before the lookup/offset error fires.
+      for (const auto& sub : subs) (void)eval_i(*sub, b);
+      fail(b, it == store_.arrays.end()
+                  ? "VM: undeclared array " + name
+                  : "VM: subscript rank mismatch on " + name);
+      return;
+    }
+    const Tensor& t = it->second;
+
+    std::vector<Aff> forms;
+    forms.reserve(subs.size());
+    bool affine = true;
+    for (const auto& sub : subs) {
+      auto af = affine_of(*sub);
+      if (!af) {
+        affine = false;
+        break;
+      }
+      forms.push_back(std::move(*af));
+    }
+
+    AccessSite site;
+    site.array = array_slot_.at(name);
+    site.name = name;
+    site.affine = affine;
+    std::uint8_t aux = 0;
+
+    if (affine) {
+      site.flat_reg = ireg();
+      site.flat_form.c0 = 0;
+      Aff flat;
+      for (std::size_t d = 0; d < subs.size(); ++d) {
+        const long stride = static_cast<long>(t.stride(d));
+        site.dims.push_back({.idx_reg = ireg(),
+                             .lb = t.lower(d),
+                             .ub = t.upper(d),
+                             .stride = stride,
+                             .form = lower_form(forms[d]),
+                             .delta = 0});
+        flat.c0 += (forms[d].c0 - t.lower(d)) * stride;
+        for (const auto& [v, k] : forms[d].coef) flat.coef[v] += k * stride;
+      }
+      site.flat_form = lower_form(flat);
+
+      // Strength reduction: initialize in the innermost enclosing loop's
+      // preheader and advance by constant deltas at its back-edge.  With
+      // no enclosing loop — or a loop whose step is not a compile-time
+      // constant — recompute inline just before the access instead.
+      const bool hoist = !loops_.empty() && loops_.back().step_const;
+      if (hoist) {
+        const LoopCtx& g = loops_.back();
+        for (std::size_t d = 0; d < site.dims.size(); ++d)
+          site.dims[d].delta = forms[d].coef_of(g.var) * g.step_val;
+        site.flat_delta = flat.coef_of(g.var) * g.step_val;
+        // A site the loop executes unconditionally walks a line whose
+        // endpoints AffineInit can validate once at loop entry; per-access
+        // checks are then dead weight.  Sites under an IF keep them: the
+        // guard may be exactly what makes an out-of-range index unreachable.
+        site.range_checked = if_depth_ == g.base_if_depth;
+      }
+      aux = site.range_checked ? 0 : 1;
+      if (count_stmt) aux |= 2;
+      out_.sites.push_back(std::move(site));
+      const auto idx = static_cast<std::int32_t>(out_.sites.size() - 1);
+      if (hoist)
+        loops_.back().hoisted_sites.push_back(idx);
+      else
+        b.push_back({.op = Op::AffineInit, .a = idx});
+      b.push_back({.op = is_store ? Op::FStoreArr : Op::FLoadArr,
+                   .aux = aux,
+                   .a = io_freg,
+                   .b = idx});
+      return;
+    }
+
+    // General path: evaluate subscripts left-to-right (the tree-walker's
+    // eval_subs order matters — they may contain traced ArrayElem reads),
+    // then bounds-check and flatten in one DynOffset.
+    site.flat_reg = ireg();
+    for (std::size_t d = 0; d < subs.size(); ++d)
+      site.dims.push_back({.idx_reg = eval_i(*subs[d], b),
+                           .lb = t.lower(d),
+                           .ub = t.upper(d),
+                           .stride = static_cast<long>(t.stride(d)),
+                           .form = {},
+                           .delta = 0});
+    out_.sites.push_back(std::move(site));
+    const auto idx = static_cast<std::int32_t>(out_.sites.size() - 1);
+    b.push_back({.op = Op::DynOffset, .a = idx});
+    b.push_back({.op = is_store ? Op::FStoreArr : Op::FLoadArr,
+                 .aux = static_cast<std::uint8_t>(count_stmt ? 2 : 0),
+                 .a = io_freg,
+                 .b = idx});
+  }
+
+  // ---- Value expressions ----------------------------------------------------
+
+  std::int32_t eval_f(const VExpr& e, Buf& b) {
+    switch (e.kind) {
+      case VKind::Const: {
+        const std::int32_t r = freg();
+        b.push_back({.op = Op::FConst, .a = r, .fimm = e.cval});
+        return r;
+      }
+      case VKind::ScalarRef: {
+        if (auto it = scal_slot_.find(e.name); it != scal_slot_.end()) {
+          const std::int32_t r = freg();
+          b.push_back({.op = Op::FLoadScalar, .a = r, .b = it->second});
+          return r;
+        }
+        fail(b, "VM: undeclared scalar " + e.name);
+        return freg();
+      }
+      case VKind::IndexVal: {
+        const std::int32_t i = eval_i(*e.index, b);
+        const std::int32_t r = freg();
+        b.push_back({.op = Op::FFromInt, .a = r, .b = i});
+        return r;
+      }
+      case VKind::ArrayRef: {
+        const std::int32_t r = freg();
+        access(e.name, e.subs, /*is_store=*/false, r, b);
+        return r;
+      }
+      case VKind::Bin: {
+        const std::int32_t l = eval_f(*e.lhs, b);
+        const std::int32_t r = eval_f(*e.rhs, b);
+        const std::int32_t d = freg();
+        b.push_back({.op = Op::FBin,
+                     .aux = static_cast<std::uint8_t>(e.bop),
+                     .a = d,
+                     .b = l,
+                     .c = r});
+        return d;
+      }
+      case VKind::Un: {
+        const std::int32_t l = eval_f(*e.lhs, b);
+        const std::int32_t d = freg();
+        b.push_back({.op = Op::FUn,
+                     .aux = static_cast<std::uint8_t>(e.uop),
+                     .a = d,
+                     .b = l});
+        return d;
+      }
+    }
+    throw Error("compile: corrupt VExpr");
+  }
+
+  // ---- Statements -----------------------------------------------------------
+
+  void compile_list(const StmtList& l, Buf& b) {
+    for (const auto& s : l) compile_stmt(*s, b);
+  }
+
+  void compile_stmt(const Stmt& s, Buf& b) {
+    switch (s.kind()) {
+      case SKind::Assign: {
+        // The statement count rides on the store dispatch (aux bit) rather
+        // than a separate CountStmt: an assignment always reaches exactly
+        // one store unless it throws, and counts are only observable on
+        // successful runs.
+        const Assign& a = s.as_assign();
+        const std::int32_t v = eval_f(*a.rhs, b);
+        if (a.lhs.is_array()) {
+          access(a.lhs.name, a.lhs.subs, /*is_store=*/true, v, b,
+                 /*count_stmt=*/true);
+        } else {
+          b.push_back({.op = Op::FStoreScalar,
+                       .aux = 1,
+                       .a = scal_slot_ref(a.lhs.name),
+                       .b = v});
+        }
+        return;
+      }
+      case SKind::Loop: {
+        compile_loop(s.as_loop(), b);
+        return;
+      }
+      case SKind::If: {
+        const If& f = s.as_if();
+        b.push_back({.op = Op::CountStmt});
+        const std::int32_t l = eval_f(*f.cond.lhs, b);
+        const std::int32_t r = eval_f(*f.cond.rhs, b);
+        const auto cj = static_cast<std::int32_t>(b.size());
+        b.push_back({.op = Op::CondJump,
+                     .aux = static_cast<std::uint8_t>(f.cond.op),
+                     .b = l,
+                     .c = r});
+        ++if_depth_;
+        compile_list(f.then_body, b);
+        if (f.else_body.empty()) {
+          b[static_cast<std::size_t>(cj)].a =
+              static_cast<std::int32_t>(b.size());
+        } else {
+          const auto j = static_cast<std::int32_t>(b.size());
+          b.push_back({.op = Op::Jump});
+          b[static_cast<std::size_t>(cj)].a =
+              static_cast<std::int32_t>(b.size());
+          compile_list(f.else_body, b);
+          b[static_cast<std::size_t>(j)].a =
+              static_cast<std::int32_t>(b.size());
+        }
+        --if_depth_;
+        return;
+      }
+    }
+  }
+
+  void compile_loop(const ir::Loop& l, Buf& b) {
+    // Bounds and step evaluate once per loop entry, in the tree-walker's
+    // order (they may contain traced ArrayElem reads).
+    const std::int32_t lb = eval_i(*l.lb, b);
+    const std::int32_t ub = eval_i(*l.ub, b);
+    bool step_const = false;
+    long step_val = 0;
+    std::int32_t step_reg = -1;
+    if (auto af = affine_of(*l.step); af && af->coef.empty()) {
+      step_const = true;
+      step_val = af->c0;
+    } else {
+      step_reg = eval_i(*l.step, b);
+    }
+    if (step_const && step_val == 0) {
+      fail(b, "VM: zero loop step in " + l.var);
+      return;
+    }
+
+    const std::int32_t var = ireg();
+    b.push_back({.op = Op::IMove, .a = var, .b = lb});
+
+    loops_.push_back({.var = l.var,
+                      .var_reg = var,
+                      .step_const = step_const,
+                      .step_val = step_val,
+                      .base_if_depth = if_depth_,
+                      .hoisted_sites = {}});
+    Buf body;
+    compile_list(l.body, body);
+    LoopCtx ctx = std::move(loops_.back());
+    loops_.pop_back();
+
+    for (std::int32_t si : ctx.hoisted_sites) {
+      const AccessSite& s = out_.sites[static_cast<std::size_t>(si)];
+      // Range-checked sites validate the whole iteration space once here
+      // (var reg still holds lb); trips come from (lb, ub, const step).
+      b.push_back({.op = Op::AffineInit,
+                   .aux = static_cast<std::uint8_t>(s.range_checked ? 1 : 0),
+                   .a = si,
+                   .b = var,
+                   .c = ub,
+                   .imm = step_val});
+    }
+
+    // Rotated loop: the entry guard runs once; the back-edge is a single
+    // bottom test (LoopEnd) after the fused register advance.
+    const auto guard = static_cast<std::int32_t>(b.size());
+    const auto sign_aux =
+        static_cast<std::uint8_t>(step_const ? (step_val > 0 ? 1 : 2) : 0);
+    b.push_back({.op = Op::LoopGuard,
+                 .aux = sign_aux,
+                 .b = var,
+                 .c = ub,
+                 .imm = step_reg});
+    const auto body_start = static_cast<std::int32_t>(b.size());
+    splice(b, std::move(body));
+    // All sites advance together in one fused dispatch, the loop variable
+    // among them.  Range-checked sites' per-dim registers are dead after
+    // AffineInit (nothing reads them), so only their flat offsets move.
+    StepGroup grp;
+    if (step_const) grp.updates.emplace_back(var, step_val);
+    for (std::int32_t si : ctx.hoisted_sites) {
+      const AccessSite& s = out_.sites[static_cast<std::size_t>(si)];
+      if (!s.range_checked)
+        for (const auto& d : s.dims)
+          if (d.delta != 0) grp.updates.emplace_back(d.idx_reg, d.delta);
+      if (s.flat_delta != 0)
+        grp.updates.emplace_back(s.flat_reg, s.flat_delta);
+    }
+    if (!step_const)
+      b.push_back({.op = Op::IAdd, .a = var, .b = var, .c = step_reg});
+    if (!grp.updates.empty()) {
+      out_.step_groups.push_back(std::move(grp));
+      b.push_back({.op = Op::AffineStep,
+                   .a = static_cast<std::int32_t>(out_.step_groups.size() -
+                                                  1)});
+    }
+    b.push_back({.op = Op::LoopEnd,
+                 .aux = sign_aux,
+                 .a = body_start,
+                 .b = var,
+                 .c = ub,
+                 .imm = step_reg});
+    b[static_cast<std::size_t>(guard)].a = static_cast<std::int32_t>(b.size());
+  }
+};
+
+[[nodiscard]] const char* op_name(Op op) {
+  switch (op) {
+    case Op::IConst: return "iconst";
+    case Op::IMove: return "imove";
+    case Op::IAdd: return "iadd";
+    case Op::ISub: return "isub";
+    case Op::IMul: return "imul";
+    case Op::IMin: return "imin";
+    case Op::IMax: return "imax";
+    case Op::IAddImm: return "iaddimm";
+    case Op::IDiv: return "idiv";
+    case Op::ILoadScalar: return "ildscal";
+    case Op::ILoadElem: return "ildelem";
+    case Op::AffineInit: return "affinit";
+    case Op::AffineStep: return "affstep";
+    case Op::DynOffset: return "dynoff";
+    case Op::FConst: return "fconst";
+    case Op::FLoadScalar: return "fldscal";
+    case Op::FStoreScalar: return "fstscal";
+    case Op::FLoadArr: return "fldarr";
+    case Op::FStoreArr: return "fstarr";
+    case Op::FBin: return "fbin";
+    case Op::FUn: return "fun";
+    case Op::FFromInt: return "ffromint";
+    case Op::Jump: return "jump";
+    case Op::LoopGuard: return "guard";
+    case Op::LoopEnd: return "loopend";
+    case Op::CondJump: return "condjump";
+    case Op::CountStmt: return "count";
+    case Op::Fail: return "fail";
+    case Op::Halt: return "halt";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CompiledProgram::disassemble() const {
+  std::ostringstream os;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Insn& in = code[pc];
+    os << pc << ": " << op_name(in.op) << " a=" << in.a << " b=" << in.b
+       << " c=" << in.c << " aux=" << static_cast<int>(in.aux)
+       << " imm=" << in.imm;
+    if (in.op == Op::FConst) os << " fimm=" << in.fimm;
+    if ((in.op == Op::FLoadArr || in.op == Op::FStoreArr ||
+         in.op == Op::ILoadElem) &&
+        static_cast<std::size_t>(in.b) < sites.size())
+      os << " (" << sites[static_cast<std::size_t>(in.b)].name << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+CompiledProgram compile(const ir::Program& p, const ir::Env& params,
+                        const Store& store) {
+  return Compiler(p, params, store).run();
+}
+
+}  // namespace blk::interp

@@ -1,0 +1,143 @@
+// Bytecode for the compiled IR oracle (src/interp/vm.*).
+//
+// compile() lowers one (Program, parameter binding) pair to a flat
+// register program.  Everything the tree-walking interpreter resolves per
+// element access is resolved here once:
+//
+//  - array and scalar names become slot indices (no string map lookups),
+//  - symbolic parameters are folded to constants (extents, strides and
+//    base addresses of every array are concrete at compile time),
+//  - affine subscripts are strength-reduced: each access site keeps its
+//    per-dimension indices and column-major flat offset in dedicated
+//    integer registers, initialized in the preheader of the innermost
+//    enclosing loop and advanced by constant deltas at its back-edge,
+//  - loop bounds are evaluated once per loop entry (hoisted out of the
+//    iteration), and
+//  - MIN/MAX bounds, floor/ceiling division, runtime ArrayElem subscripts
+//    (KLB(KN)-style) and integer-valued scalar fallbacks keep a general
+//    evaluation path that mirrors the tree-walker exactly.
+//
+// The compiler is deliberately per-instance: a different N recompiles.
+// Compilation is linear in program size (microseconds) while a run is
+// O(N^3) statements, so this is the right trade.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "interp/interp.hpp"
+#include "ir/program.hpp"
+
+namespace blk::interp {
+
+enum class Op : std::uint8_t {
+  // Integer (index) register ops; `a` is the destination register.
+  IConst,       ///< ireg[a] = imm
+  IMove,        ///< ireg[a] = ireg[b]
+  IAdd,         ///< ireg[a] = ireg[b] + ireg[c]
+  ISub,         ///< ireg[a] = ireg[b] - ireg[c]
+  IMul,         ///< ireg[a] = ireg[b] * ireg[c]
+  IMin,         ///< ireg[a] = min(ireg[b], ireg[c])
+  IMax,         ///< ireg[a] = max(ireg[b], ireg[c])
+  IAddImm,      ///< ireg[a] = ireg[b] + imm
+  IDiv,         ///< ireg[a] = floor/ceil(ireg[b] / ireg[c]); aux 0=floor 1=ceil
+  ILoadScalar,  ///< ireg[a] = (long)scal[b]  (runtime scalar used as index)
+  ILoadElem,    ///< ireg[a] = (long)load at rank-1 site b (traced read)
+
+  // Access-site bookkeeping (side table CompiledProgram::sites).
+  AffineInit,   ///< site a: recompute idx/flat registers from affine forms;
+                ///< aux 1: also validate the whole iteration range (b=var
+                ///< reg holding lb, c=ub reg, imm=const step), licensing
+                ///< check-free accesses inside the loop
+  AffineStep,   ///< step group a: advance registers by constant deltas
+  DynOffset,    ///< site a: bounds-check idx registers, compute flat register
+
+  // Floating ops; `a` is the destination register.
+  FConst,       ///< freg[a] = fimm
+  FLoadScalar,  ///< freg[a] = scal[b]
+  FStoreScalar, ///< scal[a] = freg[b]; aux 1: count enclosing assignment
+  FLoadArr,     ///< freg[a] = element at site b (aux bit 0: check dims)
+  FStoreArr,    ///< element at site b = freg[a] (aux bit 0: check dims,
+                ///< bit 1: count enclosing assignment)
+  FBin,         ///< freg[a] = freg[b] op freg[c]; aux = ir::BinOp
+  FUn,          ///< freg[a] = op freg[b]; aux = ir::UnOp
+  FFromInt,     ///< freg[a] = (double)ireg[b]
+
+  // Control.
+  Jump,         ///< pc = a
+  LoopGuard,    ///< exit to a when done; b=var reg, c=ub reg;
+                ///< aux 1: step>0, 2: step<0, 0: runtime step in ireg[imm]
+  LoopEnd,      ///< rotated back-edge: continue to a unless done (same
+                ///< operands as LoopGuard; the increment already happened
+                ///< via the fused step group or an IAdd)
+  CondJump,     ///< if !(freg[b] cmp freg[c]) pc = a; aux = ir::CmpOp
+  CountStmt,    ///< ++statements_executed
+  Fail,         ///< throw Error(msgs[a]) — runtime-only error sites
+  Halt,
+};
+
+/// One fixed-width instruction.  Operand meaning is per-op (above).
+struct Insn {
+  Op op;
+  std::uint8_t aux = 0;
+  std::int32_t a = 0, b = 0, c = 0;
+  long imm = 0;
+  double fimm = 0.0;
+};
+
+/// c0 + sum(coef * ireg) over loop-variable registers.
+struct AffineForm {
+  long c0 = 0;
+  std::vector<std::pair<std::int32_t, long>> terms;  ///< (ireg, coef)
+};
+
+/// One array access site (an ArrayRef / LValue / ArrayElem occurrence).
+struct AccessSite {
+  struct Dim {
+    std::int32_t idx_reg = -1;  ///< register holding this subscript's value
+    long lb = 0, ub = 0;        ///< concrete declared bounds
+    long stride = 0;            ///< column-major stride in elements
+    AffineForm form;            ///< affine path only
+    long delta = 0;             ///< per-iteration advance (affine path)
+  };
+
+  std::int32_t array = -1;     ///< array slot
+  std::int32_t flat_reg = -1;  ///< register holding the flat element offset
+  std::vector<Dim> dims;
+  AffineForm flat_form;        ///< affine path: flat offset as one form
+  long flat_delta = 0;
+  bool affine = false;
+  bool range_checked = false;  ///< bounds proven for the whole loop at
+                               ///< AffineInit; accesses skip per-dim checks
+  std::string name;            ///< array name, for error messages
+};
+
+/// Register increments applied together at one loop back-edge (all the
+/// strength-reduced sites of that loop fused into a single dispatch).
+struct StepGroup {
+  std::vector<std::pair<std::int32_t, long>> updates;  ///< (ireg, delta)
+};
+
+/// A fully lowered program plus its side tables.
+struct CompiledProgram {
+  std::vector<Insn> code;
+  std::vector<AccessSite> sites;
+  std::vector<StepGroup> step_groups;    ///< AffineStep side table
+  std::vector<std::string> msgs;         ///< Fail payloads
+  std::int32_t n_ireg = 0;
+  std::int32_t n_freg = 0;
+  std::vector<std::string> scal_names;   ///< scalar slot -> name
+  std::vector<std::string> array_names;  ///< array slot -> name
+
+  /// Human-readable disassembly (debugging aid for divergence reports).
+  [[nodiscard]] std::string disassemble() const;
+};
+
+/// Lower `p` under concrete `params`.  `store` supplies the concrete array
+/// geometry (as built by make_store) the bytecode hard-codes.
+[[nodiscard]] CompiledProgram compile(const ir::Program& p,
+                                      const ir::Env& params,
+                                      const Store& store);
+
+}  // namespace blk::interp

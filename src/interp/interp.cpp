@@ -42,24 +42,41 @@ std::size_t Tensor::offset(std::span<const long> idx) const {
   return flat;
 }
 
-Interpreter::Interpreter(const ir::Program& program, ir::Env params)
-    : program_(program), params_(std::move(params)) {
+Store make_store(const ir::Program& program, const ir::Env& params) {
+  Store store;
   // Allocate arrays at distinct synthetic addresses, 64-byte aligned, with a
   // guard gap so distinct arrays never share a cache line.
   std::uint64_t next_base = 1 << 20;
-  for (const auto& [name, decl] : program_.arrays()) {
+  for (const auto& [name, decl] : program.arrays()) {
     std::vector<long> lb, ub;
     lb.reserve(decl.dims.size());
     ub.reserve(decl.dims.size());
     for (const auto& d : decl.dims) {
-      lb.push_back(evaluate(d.lb, params_));
-      ub.push_back(evaluate(d.ub, params_));
+      lb.push_back(evaluate(d.lb, params));
+      ub.push_back(evaluate(d.ub, params));
     }
     Tensor t(std::move(lb), std::move(ub), next_base);
     next_base += (t.size() * sizeof(double) + 4095) / 4096 * 4096 + 4096;
-    store_.arrays.emplace(name, std::move(t));
+    store.arrays.emplace(name, std::move(t));
   }
-  for (const auto& s : program_.scalars()) store_.scalars[s] = 0.0;
+  for (const auto& s : program.scalars()) store.scalars[s] = 0.0;
+  return store;
+}
+
+void seed_store(Store& store, std::uint64_t seed) {
+  for (auto& [name, t] : store.arrays) {
+    // Per-array stream derived from the name, so semantically equivalent
+    // programs with extra compiler temporaries seed shared arrays alike.
+    std::uint64_t k = seed;
+    for (char ch : name)
+      k = k * 1099511628211ULL + static_cast<unsigned char>(ch);
+    fill_random(t, k);
+  }
+}
+
+Interpreter::Interpreter(const ir::Program& program, ir::Env params)
+    : program_(program), params_(std::move(params)) {
+  store_ = make_store(program_, params_);
 }
 
 void Interpreter::run(const TraceFn& trace) {
@@ -274,21 +291,6 @@ double max_abs_diff(const Store& a, const Store& b) {
       m = std::max(m, std::fabs(fa[i] - fb[i]));
   }
   return m;
-}
-
-Store run_seeded(const ir::Program& p, const ir::Env& params,
-                 std::uint64_t seed) {
-  Interpreter in(p, params);
-  for (auto& [name, t] : in.store().arrays) {
-    // Per-array stream derived from the name, so semantically equivalent
-    // programs with extra compiler temporaries seed shared arrays alike.
-    std::uint64_t k = seed;
-    for (char ch : name)
-      k = k * 1099511628211ULL + static_cast<unsigned char>(ch);
-    fill_random(t, k);
-  }
-  in.run();
-  return std::move(in.store());
 }
 
 }  // namespace blk::interp

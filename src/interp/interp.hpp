@@ -29,6 +29,8 @@ class Tensor {
   [[nodiscard]] std::size_t rank() const { return lower_.size(); }
   [[nodiscard]] long lower(std::size_t d) const { return lower_[d]; }
   [[nodiscard]] long upper(std::size_t d) const { return upper_[d]; }
+  [[nodiscard]] std::size_t stride(std::size_t d) const { return stride_[d]; }
+  [[nodiscard]] std::uint64_t base_addr() const { return base_addr_; }
   [[nodiscard]] std::size_t size() const { return data_.size(); }
 
   /// Column-major flat offset of a (bounds-checked) index tuple.
@@ -65,6 +67,19 @@ struct Store {
 
 /// Trace callback: one event per array-element access.
 using TraceFn = std::function<void(std::uint64_t addr, bool is_write)>;
+
+/// Allocate the Store for a program instance: one Tensor per declared
+/// array (evaluated under `params`, each at a distinct 64-byte-aligned
+/// synthetic base address with a guard gap) plus zeroed declared scalars.
+/// Both execution engines build their state through this, so their
+/// synthetic address maps — and therefore their traces — agree exactly.
+[[nodiscard]] Store make_store(const ir::Program& program,
+                               const ir::Env& params);
+
+/// Seed every array with the deterministic per-name stream derived from
+/// `seed` (so equivalent programs with extra compiler temporaries still
+/// seed the shared arrays identically).
+void seed_store(Store& store, std::uint64_t seed);
 
 /// Interpreter for one program instance.
 ///
@@ -124,6 +139,8 @@ void fill_random(Tensor& t, std::uint64_t seed, double lo = -1.0,
 [[nodiscard]] double max_abs_diff(const Store& a, const Store& b);
 
 /// Run `p` under `params` with inputs seeded by `seed`; returns the store.
+/// Executes on the bytecode VM (src/interp/vm.*); the tree-walker here
+/// remains the reference semantics it is differentially tested against.
 [[nodiscard]] Store run_seeded(const ir::Program& p, const ir::Env& params,
                                std::uint64_t seed);
 

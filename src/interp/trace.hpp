@@ -1,0 +1,69 @@
+// Flat access-trace records and the reusable buffer the VM emits them into.
+//
+// The tree-walking interpreter reports each array access through a
+// per-access std::function callback; at fuzzer and cache-ablation scale
+// that dispatch dominates the run.  The VM instead appends fixed-size
+// records to a TraceBuffer, and consumers replay whole batches (e.g.
+// cachesim::Cache::simulate) without any per-access indirection.  A
+// buffer may optionally carry a sink: once `flush_threshold` records
+// accumulate they are delivered in one span and the buffer is reused, so
+// arbitrarily long traces (N=300 LU is ~10^8 accesses) run in constant
+// memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace blk::interp {
+
+/// One array-element access: synthetic byte address plus direction.
+struct TraceRecord {
+  std::uint64_t addr = 0;
+  bool is_write = false;
+
+  [[nodiscard]] bool operator==(const TraceRecord&) const = default;
+};
+
+/// Growable, reusable trace store with optional batched delivery.
+class TraceBuffer {
+ public:
+  using Sink = std::function<void(std::span<const TraceRecord>)>;
+
+  TraceBuffer() { recs_.reserve(4096); }
+
+  /// Streaming mode: whenever `flush_threshold` records accumulate they
+  /// are handed to `sink` and dropped, bounding memory.
+  TraceBuffer(std::size_t flush_threshold, Sink sink)
+      : flush_threshold_(flush_threshold), sink_(std::move(sink)) {
+    recs_.reserve(flush_threshold_ ? flush_threshold_ : 4096);
+  }
+
+  void append(std::uint64_t addr, bool is_write) {
+    recs_.push_back({addr, is_write});
+    if (flush_threshold_ != 0 && recs_.size() >= flush_threshold_) flush();
+  }
+
+  /// Deliver buffered records to the sink (if any) and clear them.
+  /// Without a sink this is a no-op, so retained-mode users keep records.
+  void flush() {
+    if (!sink_) return;
+    if (!recs_.empty()) sink_(recs_);
+    recs_.clear();
+  }
+
+  void clear() { recs_.clear(); }
+
+  [[nodiscard]] std::span<const TraceRecord> records() const { return recs_; }
+  [[nodiscard]] std::size_t size() const { return recs_.size(); }
+  [[nodiscard]] bool empty() const { return recs_.empty(); }
+
+ private:
+  std::vector<TraceRecord> recs_;
+  std::size_t flush_threshold_ = 0;
+  Sink sink_;
+};
+
+}  // namespace blk::interp

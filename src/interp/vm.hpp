@@ -1,0 +1,92 @@
+// Bytecode VM for the IR oracle, and the ExecEngine facade that lets every
+// consumer (tests, fuzzer, cache ablations, examples) pick an engine.
+//
+// The Vm executes the register program produced by compile() over the same
+// Store layout the tree-walking Interpreter allocates, with the same
+// synthetic addresses — so stores are bit-identical and access traces are
+// event-for-event identical, at bytecode speed.  The tree-walker remains
+// the reference semantics: tests/interp/vm_test.cpp and the fuzzer run
+// both and require exact agreement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "interp/compile.hpp"
+#include "interp/interp.hpp"
+#include "interp/trace.hpp"
+
+namespace blk::interp {
+
+/// Executes one compiled program instance.
+class Vm {
+ public:
+  Vm(const ir::Program& program, ir::Env params);
+
+  [[nodiscard]] Store& store() { return store_; }
+  [[nodiscard]] const Store& store() const { return store_; }
+  [[nodiscard]] const ir::Env& params() const { return params_; }
+  [[nodiscard]] const CompiledProgram& compiled() const { return prog_; }
+
+  /// Execute; when `trace` is non-null every array-element access appends
+  /// one record.  Throws blk::Error on out-of-bounds accesses, unbound
+  /// variables, or non-terminating loop steps, like the tree-walker.
+  void run(TraceBuffer* trace = nullptr);
+
+  [[nodiscard]] std::uint64_t statements_executed() const { return stmts_; }
+
+ private:
+  ir::Env params_;
+  Store store_;
+  CompiledProgram prog_;
+  std::vector<long> ireg_;
+  std::vector<double> freg_;
+  std::vector<double> scal_;
+  std::vector<double*> arr_data_;      ///< array slot -> element storage
+  std::vector<std::uint64_t> arr_base_;  ///< array slot -> synthetic base
+  std::uint64_t stmts_ = 0;
+
+  void sync_scalars_in();
+  void sync_scalars_out();
+
+  /// The dispatch loop, specialized at compile time so the untraced path
+  /// carries no per-access branch.
+  template <bool kTrace>
+  void run_impl(TraceBuffer* trace);
+};
+
+/// Which execution engine backs an ExecEngine instance.
+enum class Engine : std::uint8_t {
+  TreeWalker,  ///< reference semantics (src/interp/interp.*)
+  Vm,          ///< compiled bytecode (default)
+};
+
+/// Uniform front door over both engines.  Construction allocates the
+/// store; callers seed inputs through store() and then run().
+class ExecEngine {
+ public:
+  ExecEngine(const ir::Program& program, ir::Env params,
+             Engine engine = Engine::Vm);
+  ~ExecEngine();
+  ExecEngine(ExecEngine&&) noexcept;
+  ExecEngine& operator=(ExecEngine&&) noexcept;
+
+  [[nodiscard]] Store& store();
+  [[nodiscard]] const Store& store() const;
+  [[nodiscard]] const ir::Env& params() const;
+  [[nodiscard]] Engine engine() const { return engine_; }
+
+  void run();                  ///< untraced
+  void run(TraceBuffer& tb);   ///< batched tracing
+  void run(const TraceFn& fn); ///< legacy per-access callback
+
+  [[nodiscard]] std::uint64_t statements_executed() const;
+
+ private:
+  Engine engine_;
+  std::unique_ptr<Interpreter> tw_;
+  std::unique_ptr<Vm> vm_;
+};
+
+}  // namespace blk::interp

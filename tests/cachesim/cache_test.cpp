@@ -2,7 +2,10 @@
 // that blocking cuts misses.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "cachesim/cache.hpp"
+#include "interp/vm.hpp"
 #include "ir/builder.hpp"
 #include "ir/error.hpp"
 #include "kernels/ir_kernels.hpp"
@@ -121,6 +124,50 @@ TEST(Cache, SummaryMentionsGeometry) {
 
 namespace blk::cachesim {
 namespace {
+
+TEST(Cache, BulkSimulateMatchesPerAccess) {
+  // Cache::simulate(span) must be observationally identical to calling
+  // access() once per record, across batch-boundary splits.
+  std::vector<interp::TraceRecord> trace;
+  for (std::uint64_t i = 0; i < 4000; ++i)
+    trace.push_back({.addr = (i * 712ull) % 32768, .is_write = i % 4 == 0});
+
+  CacheConfig cfg{.size_bytes = 4 * 1024, .line_bytes = 64, .assoc = 2};
+  Cache single(cfg);
+  for (const auto& r : trace) single.access(r.addr);
+
+  for (std::size_t batch : {1ul, 7ul, 1024ul, trace.size()}) {
+    Cache bulk(cfg);
+    for (std::size_t i = 0; i < trace.size(); i += batch) {
+      auto n = std::min(batch, trace.size() - i);
+      bulk.simulate(std::span<const interp::TraceRecord>(&trace[i], n));
+    }
+    EXPECT_EQ(bulk.stats().accesses, single.stats().accesses);
+    EXPECT_EQ(bulk.stats().hits, single.stats().hits);
+    EXPECT_EQ(bulk.stats().misses, single.stats().misses);
+    EXPECT_EQ(bulk.stats().evictions, single.stats().evictions);
+  }
+}
+
+TEST(Cache, StreamedTraceBufferMatchesDirectSimulation) {
+  // Streaming a program's trace through a small TraceBuffer into the cache
+  // gives the same statistics as the one-shot simulate() entry point.
+  Program p = kernels::lu_point_ir();
+  CacheConfig cfg{.size_bytes = 8 * 1024, .line_bytes = 64, .assoc = 4};
+  CacheStats one_shot = simulate(p, {{"N", 32}}, cfg, 3);
+
+  interp::ExecEngine eng(p, {{"N", 32}});
+  interp::seed_store(eng.store(), 3);
+  Cache streamed(cfg);
+  interp::TraceBuffer buf(
+      64, [&streamed](std::span<const interp::TraceRecord> recs) {
+        streamed.simulate(recs);
+      });
+  eng.run(buf);
+  buf.flush();
+  EXPECT_EQ(streamed.stats().accesses, one_shot.accesses);
+  EXPECT_EQ(streamed.stats().misses, one_shot.misses);
+}
 
 TEST(Hierarchy, RequiresAtLeastOneLevel) {
   EXPECT_THROW(Hierarchy({}), blk::Error);

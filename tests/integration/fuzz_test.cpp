@@ -3,11 +3,25 @@
 // interpreter equivalence with the original.  Any divergence is a
 // correctness bug in a transformation or in the dependence analysis that
 // approved it.
+//
+// Seeds are independent, so the whole campaign fans out across a thread
+// pool (none of the transformation or execution machinery has global
+// mutable state); workers report failures as strings collected under a
+// mutex because gtest assertions are not thread-safe off the main thread.
+// Each seed also cross-checks the two execution engines: the bytecode VM
+// must match the tree-walking oracle bit-for-bit on stores, traces and
+// statement counts for every program the fuzzer produces.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstring>
+#include <mutex>
 #include <random>
+#include <sstream>
+#include <thread>
 
 #include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/builder.hpp"
 #include "ir/error.hpp"
 #include "ir/printer.hpp"
@@ -154,10 +168,45 @@ struct Gen {
   }
 };
 
-class TransformFuzz : public ::testing::TestWithParam<int> {};
+/// VM vs tree-walker on one program: bitwise stores, identical access
+/// traces, identical statement counts.  Returns an empty string on
+/// agreement, a reproducer otherwise.
+[[nodiscard]] std::string diff_engines(const Program& p, const ir::Env& params,
+                                       std::uint64_t seed) {
+  interp::ExecEngine tw(p, params, interp::Engine::TreeWalker);
+  interp::ExecEngine vm(p, params, interp::Engine::Vm);
+  test::seed_inputs(tw, seed);
+  test::seed_inputs(vm, seed);
+  interp::TraceBuffer ttw, tvm;
+  tw.run(ttw);
+  vm.run(tvm);
+  std::ostringstream os;
+  for (const auto& [name, ta] : tw.store().arrays) {
+    const auto& tb = vm.store().arrays.at(name);
+    if (std::memcmp(ta.flat().data(), tb.flat().data(),
+                    ta.size() * sizeof(double)) != 0)
+      os << "array " << name << " diverges between engines\n";
+  }
+  if (tw.statements_executed() != vm.statements_executed())
+    os << "statement counts diverge (" << tw.statements_executed() << " vs "
+       << vm.statements_executed() << ")\n";
+  if (ttw.size() != tvm.size()) {
+    os << "trace lengths diverge (" << ttw.size() << " vs " << tvm.size()
+       << ")\n";
+  } else {
+    for (std::size_t i = 0; i < ttw.size(); ++i)
+      if (!(ttw.records()[i] == tvm.records()[i])) {
+        os << "trace event " << i << " diverges\n";
+        break;
+      }
+  }
+  return os.str();
+}
 
-TEST_P(TransformFuzz, RandomSequencesPreserveSemantics) {
-  Gen gen(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+/// One fuzzing campaign; returns failure reproducers (empty = clean).
+[[nodiscard]] std::vector<std::string> fuzz_seed(int seed) {
+  std::vector<std::string> failures;
+  Gen gen(static_cast<std::uint64_t>(seed) * 7919 + 17);
   for (int round = 0; round < 6; ++round) {
     Program original = gen.program();
     Program mutated = original.clone();
@@ -166,25 +215,72 @@ TEST_P(TransformFuzz, RandomSequencesPreserveSemantics) {
       // the independent dependence-preservation checker must agree.
       verify::VerifiedPipeline vp(mutated);
       gen.mutate(mutated, 5);
-      ASSERT_TRUE(vp.ok()) << "seed " << GetParam() << " round " << round
-                           << "\n" << vp.to_string() << print(mutated.body);
+      if (!vp.ok()) {
+        failures.push_back("seed " + std::to_string(seed) + " round " +
+                           std::to_string(round) + "\n" + vp.to_string() +
+                           print(mutated.body));
+        return failures;
+      }
     }
     // Structural invariants must survive every transformation sequence.
-    ASSERT_TRUE(validate(mutated).empty())
-        << validate(mutated).front() << "\n" << print(mutated.body);
+    if (auto errs = validate(mutated); !errs.empty()) {
+      failures.push_back(errs.front() + "\n" + print(mutated.body));
+      return failures;
+    }
     for (long n : {1L, 4L, 9L, 12L}) {
-      double d =
-          test::run_and_diff(original, mutated, {{"N", n}}, 1234);
-      EXPECT_EQ(d, 0.0) << "seed " << GetParam() << " round " << round
-                        << " N=" << n << "\n--- original ---\n"
-                        << print(original.body) << "--- mutated ---\n"
-                        << print(mutated.body);
-      if (d != 0.0) return;  // one reproducer is enough
+      double d = test::run_and_diff(original, mutated, {{"N", n}}, 1234);
+      if (d != 0.0) {
+        failures.push_back("seed " + std::to_string(seed) + " round " +
+                           std::to_string(round) + " N=" + std::to_string(n) +
+                           "\n--- original ---\n" + print(original.body) +
+                           "--- mutated ---\n" + print(mutated.body));
+        return failures;  // one reproducer is enough
+      }
+      // Differential engine check on both shapes of this round (the two
+      // sizes that exercise empty/short and full-trip loops).
+      if (n != 4 && n != 12) continue;
+      for (const Program* prog : {&original, &mutated}) {
+        std::string e = diff_engines(*prog, {{"N", n}}, 1234);
+        if (!e.empty()) {
+          failures.push_back("seed " + std::to_string(seed) + " round " +
+                             std::to_string(round) + " N=" +
+                             std::to_string(n) + "\n" + e + print(prog->body));
+          return failures;
+        }
+      }
     }
   }
+  return failures;
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, TransformFuzz, ::testing::Range(0, 16));
+TEST(TransformFuzz, RandomSequencesPreserveSemanticsParallel) {
+  constexpr int kSeeds = 16;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned n_workers = std::min<unsigned>(hw == 0 ? 4 : hw, kSeeds);
+
+  std::atomic<int> next{0};
+  std::mutex mu;
+  std::vector<std::string> failures;
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) {
+    pool.emplace_back([&] {
+      for (int seed = next.fetch_add(1); seed < kSeeds;
+           seed = next.fetch_add(1)) {
+        auto f = fuzz_seed(seed);
+        if (!f.empty()) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.insert(failures.end(), f.begin(), f.end());
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (const auto& f : failures) ADD_FAILURE() << f;
+  EXPECT_TRUE(failures.empty())
+      << failures.size() << " fuzz campaign(s) found divergence";
+}
 
 }  // namespace
 }  // namespace blk

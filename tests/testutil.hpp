@@ -8,15 +8,18 @@
 #include <string>
 
 #include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/printer.hpp"
 #include "ir/program.hpp"
 
 namespace blk::test {
 
-/// Fill every array of an interpreter with seeded random data; arrays whose
-/// name appears in `diag_boost` get +boost added on the diagonal (making
-/// unpivoted elimination well-conditioned).
-inline void seed_inputs(interp::Interpreter& in, std::uint64_t seed,
+/// Fill every array of an engine's store with seeded random data; arrays
+/// whose name appears in `diag_boost` get +boost added on the diagonal
+/// (making unpivoted elimination well-conditioned).  Works with any engine
+/// exposing `store()` (Interpreter, Vm, ExecEngine).
+template <typename EngineT>
+inline void seed_inputs(EngineT& in, std::uint64_t seed,
                         const std::map<std::string, double>& diag_boost = {}) {
   for (auto& [name, t] : in.store().arrays) {
     // Derive each array's stream from its *name* so that programs with
@@ -36,13 +39,15 @@ inline void seed_inputs(interp::Interpreter& in, std::uint64_t seed,
 }
 
 /// Run two programs on identical seeded inputs and return the max
-/// elementwise difference across all arrays.
+/// elementwise difference across all arrays.  Executes on the bytecode VM
+/// (the tree-walker remains the reference oracle; their agreement is
+/// enforced by tests/interp/vm_test.cpp).
 inline double run_and_diff(const ir::Program& a, const ir::Program& b,
                            const ir::Env& params, std::uint64_t seed,
                            const std::map<std::string, double>& diag_boost =
                                {}) {
-  interp::Interpreter ia(a, params);
-  interp::Interpreter ib(b, params);
+  interp::ExecEngine ia(a, params);
+  interp::ExecEngine ib(b, params);
   seed_inputs(ia, seed, diag_boost);
   seed_inputs(ib, seed, diag_boost);
   ia.run();
@@ -51,7 +56,7 @@ inline double run_and_diff(const ir::Program& a, const ir::Program& b,
 }
 
 /// Gtest assertion: the two programs compute identical results under
-/// `params` (bitwise, since the interpreter evaluates both the same way).
+/// `params` (bitwise, since the engine evaluates both the same way).
 #define EXPECT_PROGRAMS_EQUIVALENT(a, b, params, seed)                  \
   EXPECT_EQ(0.0, ::blk::test::run_and_diff((a), (b), (params), (seed))) \
       << "transformed program diverges\n--- original ---\n"            \
