@@ -12,9 +12,8 @@
 #include "ir/printer.hpp"
 #include "kernels/conv.hpp"
 #include "kernels/ir_kernels.hpp"
-#include "transform/blocking.hpp"
-#include "transform/split.hpp"
-#include "transform/unrolljam.hpp"
+#include "pm/runner.hpp"
+#include "pm/spec.hpp"
 
 using namespace blk;
 using namespace blk::ir;
@@ -25,15 +24,20 @@ int main() {
               print(p.body).c_str());
 
   // 1. Index-set split the trapezoid: one rhomboidal piece (K = I..I+N2)
-  //    and one triangular piece (K = I..N1).
-  auto loops = transform::split_trapezoid_all(p.body, p.body[0]->as_loop());
-  std::printf("After trapezoid splitting (%zu loops):\n%s\n", loops.size(),
-              print(p.body).c_str());
+  //    and one triangular piece (K = I..N1).  The pipeline context keeps
+  //    the pieces between stages.
+  pm::PipelineContext ctx(p);
+  (void)pm::run_pipeline(pm::parse_pipeline("split-trapezoid"), ctx);
+  std::printf("After trapezoid splitting (%zu loops):\n%s\n",
+              ctx.pieces.size(), print(p.body).c_str());
 
   // 2. Normalize the rhomboid's K loop, making it rectangular, then
-  //    unroll-and-jam I by 4 (register blocking).
-  transform::normalize_loop(p.body, loops[0]->body[0]->as_loop());
-  transform::unroll_and_jam(p.body, *loops[0], 4);
+  //    unroll-and-jam I by 4 (register blocking).  focus retargets the
+  //    pipeline at each loop by variable name.
+  (void)pm::run_pipeline(
+      pm::parse_pipeline("focus(var=K); normalize; focus(var=I); "
+                         "unrolljam(u=4)"),
+      ctx);
   std::printf("After normalization + unroll-and-jam of the rhomboid:\n%s\n",
               print(p.body).c_str());
 

@@ -11,7 +11,7 @@
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
-#include "transform/blocking.hpp"
+#include "pm/runner.hpp"
 
 using namespace blk;
 using namespace blk::ir;
@@ -22,21 +22,25 @@ int main() {
   std::printf("LU decomposition, point algorithm (what a user writes):\n%s\n",
               print(point.body).c_str());
 
-  // The automatic pipeline: strip-mine K, run Procedure IndexSetSplit
-  // (Fig. 3) against the KK-carried recurrence, distribute, and sink KK
-  // with triangular interchange (the §3.1 bound rewrite).  The full-block
-  // hint K+KS-1 <= N-1 only steers the split choice; the emitted code is
-  // exact for every N and KS.
+  // The automatic pipeline, spelled declaratively: strip-mine K, run
+  // Procedure IndexSetSplit (Fig. 3) against the KK-carried recurrence,
+  // distribute, and sink KK with triangular interchange (the §3.1 bound
+  // rewrite).  The full-block hint K+KS-1 <= N-1 only steers the split
+  // choice; the emitted code is exact for every N and KS.
   Program blocked = point.clone();
-  blocked.param("KS");
   analysis::Assumptions hints;
   hints.assert_le(v("K") + v("KS") - 1, v("N") - 1);
-  auto res = transform::auto_block(blocked, blocked.body[0]->as_loop(),
-                                   ivar("KS"), hints);
-  std::printf("auto_block: %d index-set split(s), %zu distributed piece(s), "
-              "%d triangular interchange(s)\n\n",
-              res.splits, res.pieces.size(), res.interchanges);
-  std::printf("Derived block algorithm (the paper's Fig. 6):\n%s\n",
+  const char* spec = "stripmine(b=KS); split; distribute; interchange";
+  pm::RunReport report = pm::run_spec(blocked, spec, hints);
+  std::printf("Pipeline '%s':\n", spec);
+  for (const pm::PassStat& s : report.passes)
+    std::printf("  %-16s %3ld -> %3ld statements  cache %llu hits / "
+                "%llu misses%s%s\n",
+                s.invocation.c_str(), s.stmts_before, s.stmts_after,
+                static_cast<unsigned long long>(s.analysis_hits),
+                static_cast<unsigned long long>(s.analysis_misses),
+                s.note.empty() ? "" : "  — ", s.note.c_str());
+  std::printf("\nDerived block algorithm (the paper's Fig. 6):\n%s\n",
               print(blocked.body).c_str());
 
   // Numeric identity with the point algorithm, including ragged blocks.

@@ -9,7 +9,8 @@
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
 #include "kernels/qr_givens.hpp"
-#include "transform/blocking.hpp"
+#include "pm/runner.hpp"
+#include "pm/spec.hpp"
 
 using namespace blk;
 using namespace blk::ir;
@@ -20,10 +21,11 @@ int main() {
               print(p.body).c_str());
 
   Program orig = p.clone();
-  auto res = transform::optimize_givens(p);
-  std::printf("After optimize_givens (%d interchanges — the paper's "
-              "Fig. 10):\n%s\n",
-              res.interchanges, print(p.body).c_str());
+  pm::PipelineContext ctx(p);
+  (void)pm::run_pipeline(pm::parse_pipeline("optgivens"), ctx);
+  std::printf("After the 'optgivens' pipeline (%d interchanges — the "
+              "paper's Fig. 10):\n%s\n",
+              ctx.interchanges, print(p.body).c_str());
 
   // Identical results on the interpreter.
   const long m = 18, n = 14;

@@ -12,7 +12,7 @@
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
 #include "kernels/matmul.hpp"
-#include "transform/ifinspect.hpp"
+#include "pm/runner.hpp"
 
 using namespace blk;
 using namespace blk::ir;
@@ -23,8 +23,7 @@ int main() {
               print(p.body).c_str());
 
   Program inspected = p.clone();
-  Loop& k = inspected.body[0]->as_loop().body[0]->as_loop();
-  transform::if_inspect(inspected, inspected.body, k);
+  (void)pm::run_spec(inspected, "focus(var=K); ifinspect");
   std::printf("After IF-inspection (the paper's Fig. 4):\n%s\n",
               print(inspected.body).c_str());
 

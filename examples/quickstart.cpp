@@ -1,5 +1,5 @@
-// Quickstart: build a loop nest with the IR builder, block it with
-// strip-mine-and-interchange, and verify the transformation with the
+// Quickstart: build a loop nest with the IR builder, block it with a
+// two-stage pass pipeline, and verify the transformation with the
 // interpreter — the §2.3 running example end to end.
 //
 //   $ ./examples/quickstart
@@ -8,7 +8,7 @@
 #include "interp/vm.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
-#include "transform/blocking.hpp"
+#include "pm/runner.hpp"
 
 using namespace blk;
 using namespace blk::ir;
@@ -29,16 +29,18 @@ int main() {
 
   std::printf("Point form:\n%s\n", print(p).c_str());
 
-  // Block the J loop: strip-mine by a symbolic factor JS and sink the
-  // strip loop inward (the compiler checks dependence legality).
+  // Block the J loop: strip-mine by a symbolic factor JS (the pass
+  // declares the parameter) and sink the strip loop inward — the
+  // compiler checks dependence legality at the interchange stage.
   Program blocked = p.clone();
-  blocked.param("JS");
-  transform::strip_mine_and_interchange(blocked,
-                                        blocked.body[0]->as_loop(),
-                                        ivar("JS"));
-  std::printf("After strip-mine-and-interchange (JS-wide blocks of B now "
-              "stay in cache):\n%s\n",
-              print(blocked.body).c_str());
+  const char* spec = "stripmine(b=JS); interchange";
+  pm::RunReport report = pm::run_spec(blocked, spec);
+  std::printf("After '%s' (JS-wide blocks of B now stay in cache):\n%s\n",
+              spec, print(blocked.body).c_str());
+  for (const pm::PassStat& s : report.passes)
+    std::printf("  %-18s %3ld -> %3ld statements\n", s.invocation.c_str(),
+                s.stmts_before, s.stmts_after);
+  std::printf("\n");
 
   // Prove the two versions identical on real data.
   ir::Env env{{"N", 100}, {"M", 1000}};

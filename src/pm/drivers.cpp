@@ -1,0 +1,305 @@
+// Stage functions and composite drivers of the pass manager, plus the
+// transform/blocking.hpp driver entry points (kept as thin wrappers over
+// this layer so every existing caller and golden test sees identical
+// behavior).
+#include "pm/drivers.hpp"
+
+#include <utility>
+
+#include "ir/error.hpp"
+#include "transform/ifinspect.hpp"
+#include "transform/interchange.hpp"
+#include "transform/pattern.hpp"
+#include "transform/scalarrepl.hpp"
+#include "transform/split.hpp"
+#include "transform/stripmine.hpp"
+#include "transform/unrolljam.hpp"
+
+namespace blk::pm::detail {
+
+using namespace blk::ir;
+using analysis::Assumptions;
+using transform::AutoBlockResult;
+using transform::ConvOptResult;
+using transform::GivensOptResult;
+
+void step_stripmine(PipelineContext& ctx, IExprPtr block, bool exact) {
+  if (!block) block = ctx.default_block;
+  if (!block)
+    throw Error("stripmine: no block size (pass b=... or set a default)");
+  // A symbolic block size names a parameter; declare it on first use so
+  // specs like "stripmine(b=BS)" work on programs that never mention BS.
+  if (block->kind == IKind::Var && !ctx.prog.has_param(block->name))
+    ctx.prog.param(block->name);
+  Loop& strip = transform::strip_mine(ctx.prog, ctx.target(), std::move(block),
+                                      exact);
+  ctx.strip = &strip;
+  ctx.split_report.reset();
+  ctx.pieces.clear();
+}
+
+void step_split(PipelineContext& ctx) {
+  ctx.split_report = transform::index_set_split(
+      ctx.prog.body, ctx.strip_or_target(), ctx.hints, ctx.commutativity);
+}
+
+void step_distribute(PipelineContext& ctx) {
+  if (ctx.split_report && !ctx.split_report->distributable) {
+    ctx.stage_skipped = true;
+    ctx.stage_note = "split left the body non-distributable";
+    return;
+  }
+  Loop& target = ctx.strip_or_target();
+  // The commutativity filter is rebuilt here: splitting moved and cloned
+  // statements.  Legality must not lean on the driver hints (they may be
+  // false on the ragged block); loop-range facts alone decide.
+  transform::IgnoreEdge ignore;
+  if (ctx.commutativity) ignore = transform::commutativity_filter(target);
+  ctx.pieces = transform::distribute(ctx.prog.body, target, nullptr, ignore);
+  // Distribution replaced the strip node; re-point at the surviving copy
+  // (the first piece still carries the strip variable at its head).
+  if (ctx.strip && !ctx.pieces.empty()) ctx.strip = ctx.pieces.front();
+}
+
+void step_interchange(PipelineContext& ctx) {
+  if (ctx.split_report && !ctx.split_report->distributable) {
+    ctx.stage_skipped = true;
+    ctx.stage_note = "split left the body non-distributable";
+    return;
+  }
+  if (ctx.pieces.empty()) {
+    // No distribution ran: plain strip-mine-and-interchange semantics.
+    ctx.interchanges += transform::sink_loop(
+        ctx.prog.body, ctx.strip_or_target(), /*check=*/true, nullptr);
+    return;
+  }
+  // The MIN/MAX bounds created by splitting are first resolved using only
+  // loop-range facts (always exact); e.g. MAX(KK+1, <split point>+1)
+  // resolves to the split-point side because KK never exceeds it.
+  for (Loop* piece : ctx.pieces) {
+    if (piece->body.size() != 1 || piece->body[0]->kind() != SKind::Loop)
+      continue;  // the point-algorithm piece keeps the strip loop outside
+    Assumptions bounds_ctx;
+    for (Loop* outer : enclosing_loops(ctx.prog.body, *piece))
+      bounds_ctx.add_loop_range(*outer);
+    bounds_ctx.add_loop_range(*piece);
+    transform::simplify_bounds_in(piece->body, std::move(bounds_ctx));
+    ctx.interchanges += transform::sink_loop(ctx.prog.body, *piece,
+                                             /*check=*/true, nullptr);
+  }
+}
+
+int step_register_block(PipelineContext& ctx, Loop& loop, long factor) {
+  // Jam: triangular when the immediate inner bound tracks the unrolled
+  // variable with slope one, rectangular otherwise.
+  bool triangular = false;
+  if (loop.body.size() == 1 && loop.body[0]->kind() == SKind::Loop) {
+    const Loop& inner = loop.body[0]->as_loop();
+    if (auto f = as_affine(*inner.lb);
+        f && f->coef_of(loop.var) == 1 && !mentions(*inner.ub, loop.var))
+      triangular = true;
+  }
+  if (triangular)
+    transform::unroll_and_jam_triangular(ctx.prog.body, loop, factor,
+                                         &ctx.hints);
+  else
+    transform::unroll_and_jam(ctx.prog.body, loop, factor, &ctx.hints);
+
+  // Scalar-replace the invariant references of every innermost loop the
+  // jam produced (the unrolled accumulators).
+  std::vector<Loop*> innermost;
+  for_each_stmt(ctx.prog.body, [&](Stmt& s) {
+    if (s.kind() != SKind::Loop) return;
+    Loop& l = s.as_loop();
+    bool has_inner = false;
+    for (const auto& c : l.body)
+      if (c->kind() == SKind::Loop) has_inner = true;
+    if (!has_inner) innermost.push_back(&l);
+  });
+  int replaced = 0;
+  for (Loop* l : innermost)
+    replaced += transform::scalar_replace(ctx.prog, ctx.prog.body, *l,
+                                          ctx.hints);
+  ctx.scalar_groups += replaced;
+  return replaced;
+}
+
+AutoBlockResult auto_block_impl(PipelineContext& ctx, IExprPtr block) {
+  AutoBlockResult result;
+  int interchanges_before = ctx.interchanges;
+
+  // 1. Strip-mine (with the MIN guard, so the result is exact for ragged
+  //    trailing blocks).
+  step_stripmine(ctx, std::move(block), /*exact=*/false);
+  result.strip = ctx.strip;
+
+  // 2. Procedure IndexSetSplit against the strip loop's recurrences.  The
+  //    hints (e.g. the full-block view K+BS-1 <= N-1) steer only *where*
+  //    to split — splitting itself is unconditionally safe.
+  step_split(ctx);
+  result.splits = ctx.split_report->splits;
+  if (!ctx.split_report->distributable) return result;
+
+  // 3. Distribute the strip loop over its dependence components.
+  step_distribute(ctx);
+  result.pieces = ctx.pieces;
+  result.blocked =
+      ctx.pieces.size() > 1 || ctx.split_report->distributable;
+  result.strip = ctx.strip;
+
+  // 4. Sink the strip loop in every piece that forms a perfect nest.
+  step_interchange(ctx);
+  result.interchanges = ctx.interchanges - interchanges_before;
+  return result;
+}
+
+AutoBlockResult auto_block_plus_impl(PipelineContext& ctx, IExprPtr block,
+                                     long unroll) {
+  AutoBlockResult result = auto_block_impl(ctx, std::move(block));
+  if (!result.blocked || unroll <= 1) return result;
+  // Register-block the trailing pieces (the perfect nests the strip loop
+  // sank into); the first piece keeps the point algorithm, as in Fig. 6.
+  for (std::size_t i = 1; i < result.pieces.size(); ++i) {
+    try {
+      step_register_block(ctx, *result.pieces[i], unroll);
+    } catch (const Error&) {
+      // An unjammable piece stays as derived; blocking already succeeded.
+    }
+  }
+  return result;
+}
+
+ConvOptResult optimize_convolution_impl(PipelineContext& ctx, long unroll) {
+  ir::Program& p = ctx.prog;
+  if (p.body.empty() || p.body[0]->kind() != SKind::Loop)
+    throw Error("optimize_convolution: expected an outer loop");
+  ConvOptResult result;
+
+  // 1. De-trapezoidalize.
+  result.pieces = transform::split_trapezoid_all(p.body, p.body[0]->as_loop());
+  ctx.pieces = result.pieces;
+
+  for (Loop* piece : result.pieces) {
+    if (piece->body.size() != 1 || piece->body[0]->kind() != SKind::Loop)
+      continue;
+    Loop& inner = piece->body[0]->as_loop();
+    // 2. Rhomboid (both inner bounds track the outer variable with the
+    //    same slope): normalization makes it rectangular.
+    auto flb = as_affine(*inner.lb);
+    auto fub = as_affine(*inner.ub);
+    if (flb && fub) {
+      long a_lb = flb->coef_of(piece->var);
+      long a_ub = fub->coef_of(piece->var);
+      if (a_lb != 0 && a_lb == a_ub) {
+        transform::normalize_loop(p.body, inner);
+        ++result.normalized;
+      }
+    }
+    // 3. Register blocking: unroll-and-jam + scalar replacement.  A piece
+    //    whose dependences or shape refuse stays as split.
+    try {
+      step_register_block(ctx, *piece, unroll);
+      ++result.jammed;
+    } catch (const Error&) {
+    }
+  }
+  return result;
+}
+
+GivensOptResult optimize_givens_impl(PipelineContext& ctx) {
+  ir::Program& p = ctx.prog;
+  if (p.body.empty() || p.body[0]->kind() != SKind::Loop)
+    throw Error("optimize_givens: expected an outer column loop");
+  Loop& l = p.body[0]->as_loop();
+  if (l.body.size() != 1 || l.body[0]->kind() != SKind::Loop)
+    throw Error("optimize_givens: expected the guarded row loop inside");
+  Loop& j = l.body[0]->as_loop();
+
+  // 1. Preparation + inspection (Fig. 10's first half).
+  transform::IfInspectResult insp = transform::if_inspect_auto(p, p.body, j);
+  ctx.inspector = insp.inspector;
+  ctx.range_loop = insp.range_loop;
+  ctx.executor = insp.executor;
+
+  GivensOptResult result;
+  // 2. Sink the executor's row loop below the update loop: the executor
+  //    (DO J = JLB(JN), JUB(JN)) perfectly nests the K update loop; two
+  //    rectangular interchanges make K outermost of the JN/J pair.
+  transform::interchange(p.body, *insp.executor);
+  transform::interchange(p.body, *insp.range_loop);
+  result.interchanges = 2;
+  ctx.interchanges += 2;
+  result.column_loop = insp.range_loop;  // now the K loop (in place)
+  return result;
+}
+
+namespace {
+
+/// Install a fresh caching AnalysisManager unless the caller (a pipeline
+/// run, a test fixture) already has one current on this thread — the
+/// drivers get memoized analyses either way.
+struct EnsureManager {
+  std::optional<analysis::AnalysisManager> own;
+  std::optional<analysis::ScopedAnalysisManager> scope;
+  EnsureManager() {
+    if (!analysis::current_analysis_manager()) {
+      own.emplace();
+      scope.emplace(*own);
+    }
+  }
+};
+
+}  // namespace
+
+}  // namespace blk::pm::detail
+
+// ---------------------------------------------------------------------------
+// transform/blocking.hpp driver entry points: thin wrappers over the pass-
+// manager layer (same stage functions the registry binds, so behavior and
+// printed derivations are identical to the pre-pass-manager drivers).
+
+namespace blk::transform {
+
+AutoBlockResult auto_block(ir::Program& p, ir::Loop& loop,
+                           ir::IExprPtr block,
+                           const analysis::Assumptions& hints,
+                           bool use_commutativity) {
+  pm::detail::EnsureManager mgr;
+  pm::PipelineContext ctx(p, hints);
+  ctx.focus = &loop;
+  ctx.commutativity = use_commutativity;
+  return pm::detail::auto_block_impl(ctx, std::move(block));
+}
+
+int register_block(ir::Program& p, ir::Loop& loop, long factor,
+                   const analysis::Assumptions& hints) {
+  pm::detail::EnsureManager mgr;
+  pm::PipelineContext ctx(p, hints);
+  return pm::detail::step_register_block(ctx, loop, factor);
+}
+
+AutoBlockResult auto_block_plus(ir::Program& p, ir::Loop& loop,
+                                ir::IExprPtr block, long unroll,
+                                const analysis::Assumptions& hints,
+                                bool use_commutativity) {
+  pm::detail::EnsureManager mgr;
+  pm::PipelineContext ctx(p, hints);
+  ctx.focus = &loop;
+  ctx.commutativity = use_commutativity;
+  return pm::detail::auto_block_plus_impl(ctx, std::move(block), unroll);
+}
+
+ConvOptResult optimize_convolution(ir::Program& p, long unroll,
+                                   const analysis::Assumptions& hints) {
+  pm::detail::EnsureManager mgr;
+  pm::PipelineContext ctx(p, hints);
+  return pm::detail::optimize_convolution_impl(ctx, unroll);
+}
+
+GivensOptResult optimize_givens(ir::Program& p) {
+  pm::detail::EnsureManager mgr;
+  pm::PipelineContext ctx(p);
+  return pm::detail::optimize_givens_impl(ctx);
+}
+
+}  // namespace blk::transform

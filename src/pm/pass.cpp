@@ -1,0 +1,135 @@
+#include "pm/pass.hpp"
+
+#include "ir/error.hpp"
+#include "ir/iexpr.hpp"
+
+namespace blk::pm {
+
+const char* to_string(OptKind k) {
+  switch (k) {
+    case OptKind::Int:
+      return "int";
+    case OptKind::Expr:
+      return "expr";
+    case OptKind::Str:
+      return "name";
+    case OptKind::Flag:
+      return "flag";
+  }
+  return "?";
+}
+
+std::string OptionValue::to_string() const {
+  switch (kind) {
+    case Kind::Int:
+      return std::to_string(int_value);
+    case Kind::Name:
+      return name;
+    case Kind::Flag:
+      return "";
+  }
+  return "";
+}
+
+const OptionValue* PassInvocation::find(std::string_view opt) const {
+  for (const auto& [name, value] : options)
+    if (name == opt) return &value;
+  return nullptr;
+}
+
+bool PassInvocation::flag(std::string_view opt) const {
+  return find(opt) != nullptr;
+}
+
+ir::IExprPtr PassInvocation::expr(std::string_view opt) const {
+  const OptionValue* v = find(opt);
+  if (!v) return nullptr;
+  if (v->kind == OptionValue::Kind::Int) return ir::iconst(v->int_value);
+  if (v->kind == OptionValue::Kind::Name) return ir::ivar(v->name);
+  throw Error("pass '" + pass + "': option '" + std::string(opt) +
+              "' has no value");
+}
+
+long PassInvocation::int_or(std::string_view opt, long fallback) const {
+  const OptionValue* v = find(opt);
+  if (!v) return fallback;
+  if (v->kind != OptionValue::Kind::Int)
+    throw Error("pass '" + pass + "': option '" + std::string(opt) +
+                "' is not an integer");
+  return v->int_value;
+}
+
+std::string PassInvocation::str_or(std::string_view opt,
+                                   std::string fallback) const {
+  const OptionValue* v = find(opt);
+  if (!v) return fallback;
+  return v->name;
+}
+
+std::string PassInvocation::to_string() const {
+  std::string out = pass;
+  if (!options.empty()) {
+    out += '(';
+    bool first = true;
+    for (const auto& [name, value] : options) {
+      if (!first) out += ", ";
+      first = false;
+      out += name;
+      if (value.kind != OptionValue::Kind::Flag)
+        out += "=" + value.to_string();
+    }
+    out += ')';
+  }
+  return out;
+}
+
+std::string Pipeline::to_string() const {
+  std::string out;
+  for (const PassInvocation& inv : passes) {
+    if (!out.empty()) out += "; ";
+    out += inv.to_string();
+  }
+  return out;
+}
+
+bool Pipeline::uses_commutativity() const {
+  for (const PassInvocation& inv : passes)
+    if (inv.flag("commutativity")) return true;
+  return false;
+}
+
+ir::Loop& PipelineContext::target() {
+  if (focus) return *focus;
+  for (auto& s : prog.body)
+    if (s->kind() == ir::SKind::Loop) return s->as_loop();
+  throw Error("pipeline: program has no top-level loop to target");
+}
+
+ir::Loop& PipelineContext::strip_or_target() {
+  return strip ? *strip : target();
+}
+
+const OptionSpec* PassInfo::option(std::string_view opt) const {
+  for (const OptionSpec& spec : options)
+    if (spec.name == opt) return &spec;
+  return nullptr;
+}
+
+const Registry& Registry::instance() {
+  static const Registry r;
+  return r;
+}
+
+const PassInfo* Registry::lookup(std::string_view name) const {
+  auto it = passes_.find(std::string(name));
+  return it == passes_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(passes_.size());
+  for (const auto& [name, info] : passes_) out.push_back(name);
+  return out;
+}
+
+}  // namespace blk::pm

@@ -1,0 +1,300 @@
+// The pass registry: every transform primitive and composite driver,
+// with typed options.  This is the single catalogue the spec parser
+// validates against and `blk-opt --print-registry` prints.
+#include <utility>
+
+#include "ir/error.hpp"
+#include "pm/drivers.hpp"
+#include "pm/pass.hpp"
+#include "transform/fuse.hpp"
+#include "transform/ifinspect.hpp"
+#include "transform/interchange.hpp"
+#include "transform/scalarrepl.hpp"
+#include "transform/split.hpp"
+#include "transform/unrolljam.hpp"
+
+namespace blk::pm {
+
+namespace {
+
+using namespace blk::ir;
+
+/// Walk the tree in pre-order and return the `index`-th loop whose
+/// variable matches `var` (any loop when `var` is empty).
+Loop* nth_loop(StmtList& body, const std::string& var, long& index) {
+  for (auto& s : body) {
+    if (s->kind() == SKind::Loop) {
+      Loop& l = s->as_loop();
+      if (var.empty() || l.var == var) {
+        if (index == 0) return &l;
+        --index;
+      }
+      if (Loop* found = nth_loop(l.body, var, index)) return found;
+    } else if (s->kind() == SKind::If) {
+      if (Loop* found = nth_loop(s->as_if().then_body, var, index))
+        return found;
+      if (Loop* found = nth_loop(s->as_if().else_body, var, index))
+        return found;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Registry::Registry() {
+  auto add = [this](PassInfo info) {
+    passes_.emplace(info.name, std::move(info));
+  };
+
+  // --- pipeline plumbing ---------------------------------------------------
+
+  add({.name = "focus",
+       .doc = "retarget the pipeline at a loop: the index-th loop (pre-"
+              "order) whose variable is var; resets stage products",
+       .options = {{.name = "var", .kind = OptKind::Str,
+                    .doc = "loop variable to match (default: any loop)"},
+                   {.name = "index", .kind = OptKind::Int,
+                    .doc = "which match to take, 0-based (default 0)"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         std::string var = inv.str_or("var", "");
+         long index = inv.int_or("index", 0);
+         long remaining = index;
+         Loop* l = nth_loop(ctx.prog.body, var, remaining);
+         if (!l)
+           throw Error("focus: no loop " +
+                       (var.empty() ? std::string("<any>") : "'" + var + "'") +
+                       " at index " + std::to_string(index));
+         ctx.focus = l;
+         ctx.strip = nullptr;
+         ctx.split_report.reset();
+         ctx.pieces.clear();
+         ctx.stage_note = "focus -> DO " + l->var;
+       }});
+
+  // --- primitives ----------------------------------------------------------
+
+  add({.name = "stripmine",
+       .doc = "strip-mine the target loop by b (§2.3 step 1)",
+       .options = {{.name = "b", .kind = OptKind::Expr,
+                    .doc = "block size: integer or parameter name"},
+                   {.name = "exact", .kind = OptKind::Flag,
+                    .doc = "omit the MIN guard (caller guarantees b | trip)"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         detail::step_stripmine(ctx, inv.expr("b"), inv.flag("exact"));
+       }});
+
+  add({.name = "split",
+       .doc = "Procedure IndexSetSplit on the strip/target loop (Fig. 3)",
+       .options = {{.name = "commutativity", .kind = OptKind::Flag,
+                    .doc = "arm the §5.2 pattern matcher pipeline-wide"}},
+       .run = [](PipelineContext& ctx, const PassInvocation&) {
+         detail::step_split(ctx);
+         ctx.stage_note =
+             std::to_string(ctx.split_report->splits) + " splits, " +
+             (ctx.split_report->distributable ? "distributable"
+                                              : "not distributable");
+       }});
+
+  add({.name = "splitat",
+       .doc = "split the target loop at a point into two disjoint pieces",
+       .options = {{.name = "at", .kind = OptKind::Expr, .required = true,
+                    .doc = "split point: integer or parameter name"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         auto [lo, hi] = transform::split_at(ctx.prog.body,
+                                             ctx.strip_or_target(),
+                                             inv.expr("at"));
+         ctx.pieces = {lo, hi};
+       }});
+
+  add({.name = "split-trapezoid",
+       .doc = "de-trapezoidalize the target loop at every MIN/MAX "
+              "crossover (§3.2 step 1)",
+       .run = [](PipelineContext& ctx, const PassInvocation&) {
+         ctx.pieces =
+             transform::split_trapezoid_all(ctx.prog.body, ctx.target());
+         ctx.stage_note = std::to_string(ctx.pieces.size()) + " pieces";
+       }});
+
+  add({.name = "distribute",
+       .doc = "distribute the strip/target loop over its dependence "
+              "components (§5.1 step 3)",
+       .options = {{.name = "commutativity", .kind = OptKind::Flag,
+                    .doc = "arm the §5.2 pattern matcher pipeline-wide"}},
+       .run = [](PipelineContext& ctx, const PassInvocation&) {
+         detail::step_distribute(ctx);
+         if (!ctx.stage_skipped)
+           ctx.stage_note = std::to_string(ctx.pieces.size()) + " pieces";
+       }});
+
+  add({.name = "interchange",
+       .doc = "resolve bounds and sink the strip loop in every perfect-"
+              "nest piece (§5.1 step 4); without pieces, sink the "
+              "strip/target loop",
+       .run = [](PipelineContext& ctx, const PassInvocation&) {
+         int before = ctx.interchanges;
+         detail::step_interchange(ctx);
+         if (!ctx.stage_skipped)
+           ctx.stage_note =
+               std::to_string(ctx.interchanges - before) + " interchanges";
+       }});
+
+  add({.name = "fuse",
+       .doc = "fuse the target loop with its next same-header sibling",
+       .run = [](PipelineContext& ctx, const PassInvocation&) {
+         transform::fuse(ctx.prog.body, ctx.target());
+       }});
+
+  add({.name = "reverse",
+       .doc = "reverse the target loop's iteration order",
+       .run = [](PipelineContext& ctx, const PassInvocation&) {
+         transform::reverse_loop(ctx.prog.body, ctx.target());
+       }});
+
+  add({.name = "normalize",
+       .doc = "shift the target loop to run from origin upward (makes "
+              "rhomboids rectangular)",
+       .options = {{.name = "origin", .kind = OptKind::Int,
+                    .doc = "new lower bound (default 0)"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         transform::normalize_loop(ctx.prog.body, ctx.target(),
+                                   inv.int_or("origin", 0));
+       }});
+
+  add({.name = "unrolljam",
+       .doc = "unroll-and-jam the target loop by u",
+       .options = {{.name = "u", .kind = OptKind::Int,
+                    .doc = "unroll factor (default: pipeline default, 2)"},
+                   {.name = "triangular", .kind = OptKind::Flag,
+                    .doc = "use the §3.1 triangular jam"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         long u = inv.int_or("u", ctx.default_unroll);
+         if (inv.flag("triangular"))
+           transform::unroll_and_jam_triangular(ctx.prog.body, ctx.target(),
+                                                u, &ctx.hints);
+         else
+           transform::unroll_and_jam(ctx.prog.body, ctx.target(), u,
+                                     &ctx.hints);
+       }});
+
+  add({.name = "scalarrepl",
+       .doc = "scalar-replace provably identical references in the target "
+              "loop",
+       .options = {{.name = "carried", .kind = OptKind::Flag,
+                    .doc = "rotate loop-carried values instead"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         int groups =
+             inv.flag("carried")
+                 ? transform::scalar_replace_carried(ctx.prog, ctx.prog.body,
+                                                     ctx.target())
+                 : transform::scalar_replace(ctx.prog, ctx.prog.body,
+                                             ctx.target(), ctx.hints);
+         ctx.scalar_groups += groups;
+         ctx.stage_note = std::to_string(groups) + " groups";
+       }});
+
+  add({.name = "scalarexpand",
+       .doc = "expand a scalar assigned in the target loop into a "
+              "temporary array indexed by the loop variable",
+       .options = {{.name = "var", .kind = OptKind::Str, .required = true,
+                    .doc = "scalar name to expand"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         ctx.stage_note = transform::scalar_expand(
+             ctx.prog, ctx.prog.body, ctx.target(), inv.str_or("var", ""));
+       }});
+
+  add({.name = "ifinspect",
+       .doc = "IF-inspection (§4): inspector/executor split of the target "
+              "loop's guard",
+       .options = {{.name = "auto", .kind = OptKind::Flag,
+                    .doc = "run the §5.4 preparation (scalar expansion + "
+                           "recurrence splitting) first"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         transform::IfInspectResult r =
+             inv.flag("auto")
+                 ? transform::if_inspect_auto(ctx.prog, ctx.prog.body,
+                                              ctx.target())
+                 : transform::if_inspect(ctx.prog, ctx.prog.body,
+                                         ctx.target());
+         ctx.inspector = r.inspector;
+         ctx.range_loop = r.range_loop;
+         ctx.executor = r.executor;
+       }});
+
+  add({.name = "simplify-bounds",
+       .doc = "resolve MIN/MAX loop bounds using the pipeline hints plus "
+              "loop-range facts",
+       .run = [](PipelineContext& ctx, const PassInvocation&) {
+         transform::simplify_all_bounds(ctx.prog.body, ctx.hints);
+       }});
+
+  // --- composite drivers ---------------------------------------------------
+
+  add({.name = "autoblock",
+       .doc = "the §5.1 pipeline: stripmine; split; distribute; "
+              "interchange",
+       .composite = true,
+       .options = {{.name = "b", .kind = OptKind::Expr,
+                    .doc = "block size: integer or parameter name"},
+                   {.name = "commutativity", .kind = OptKind::Flag,
+                    .doc = "arm the §5.2 pattern matcher"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         auto r = detail::auto_block_impl(ctx, inv.expr("b"));
+         ctx.stage_note = std::string(r.blocked ? "blocked" : "not blocked") +
+                          ", " + std::to_string(r.splits) + " splits, " +
+                          std::to_string(r.interchanges) + " interchanges";
+       }});
+
+  add({.name = "autoblockplus",
+       .doc = "autoblock taken to the paper's \"+\" variants: register-"
+              "block the derived update nests",
+       .composite = true,
+       .options = {{.name = "b", .kind = OptKind::Expr,
+                    .doc = "block size: integer or parameter name"},
+                   {.name = "u", .kind = OptKind::Int,
+                    .doc = "unroll factor (default: pipeline default, 2)"},
+                   {.name = "commutativity", .kind = OptKind::Flag,
+                    .doc = "arm the §5.2 pattern matcher"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         auto r = detail::auto_block_plus_impl(
+             ctx, inv.expr("b"), inv.int_or("u", ctx.default_unroll));
+         ctx.stage_note = std::string(r.blocked ? "blocked" : "not blocked") +
+                          ", " + std::to_string(ctx.scalar_groups) +
+                          " scalar groups";
+       }});
+
+  add({.name = "registerblock",
+       .doc = "unroll-and-jam the target loop (triangular where the shape "
+              "demands) and scalar-replace the innermost loops",
+       .composite = true,
+       .options = {{.name = "u", .kind = OptKind::Int,
+                    .doc = "unroll factor (default: pipeline default, 2)"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         int groups = detail::step_register_block(
+             ctx, ctx.target(), inv.int_or("u", ctx.default_unroll));
+         ctx.stage_note = std::to_string(groups) + " scalar groups";
+       }});
+
+  add({.name = "optconv",
+       .doc = "the §3.2 pipeline: split-trapezoid; normalize rhomboids; "
+              "register-block each piece",
+       .composite = true,
+       .options = {{.name = "u", .kind = OptKind::Int,
+                    .doc = "unroll factor (default 4)"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         auto r = detail::optimize_convolution_impl(ctx, inv.int_or("u", 4));
+         ctx.stage_note = std::to_string(r.pieces.size()) + " pieces, " +
+                          std::to_string(r.normalized) + " normalized, " +
+                          std::to_string(r.jammed) + " jammed";
+       }});
+
+  add({.name = "optgivens",
+       .doc = "the §5.4 pipeline: ifinspect(auto) then two interchanges "
+              "to make the update loop outermost",
+       .composite = true,
+       .run = [](PipelineContext& ctx, const PassInvocation&) {
+         detail::optimize_givens_impl(ctx);
+       }});
+}
+
+}  // namespace blk::pm

@@ -1,0 +1,283 @@
+#include "pm/spec.hpp"
+
+#include <cctype>
+#include <string>
+
+#include "ir/error.hpp"
+#include "ir/iexpr.hpp"
+
+namespace blk::pm {
+
+namespace {
+
+/// One lexical token of a pipeline spec, with its source offset so error
+/// messages can point at it.
+struct Token {
+  enum class Kind : std::uint8_t { Name, Int, Punct, End } kind = Kind::End;
+  std::string text;
+  long int_value = 0;
+  std::size_t offset = 0;
+
+  [[nodiscard]] std::string describe() const {
+    switch (kind) {
+      case Kind::Name:
+        return "'" + text + "'";
+      case Kind::Int:
+        return "'" + std::to_string(int_value) + "'";
+      case Kind::Punct:
+        return "'" + text + "'";
+      case Kind::End:
+        return "end of spec";
+    }
+    return "?";
+  }
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return tok_; }
+
+  Token take() {
+    Token t = tok_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_])))
+      ++pos_;
+    tok_ = Token{};
+    tok_.offset = pos_;
+    if (pos_ >= src_.size()) {
+      tok_.kind = Token::Kind::End;
+      return;
+    }
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = pos_;
+      while (j < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[j])) ||
+              src_[j] == '_' || src_[j] == '-'))
+        ++j;
+      // A '-' is part of a name only when followed by a letter (so
+      // "simplify-bounds" lexes whole but "b-1" would not arise: values
+      // are INT or NAME, never arithmetic).
+      tok_.kind = Token::Kind::Name;
+      tok_.text = std::string(src_.substr(pos_, j - pos_));
+      pos_ = j;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && pos_ + 1 < src_.size() &&
+         std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+      std::size_t j = pos_ + 1;
+      while (j < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[j])))
+        ++j;
+      tok_.kind = Token::Kind::Int;
+      tok_.text = std::string(src_.substr(pos_, j - pos_));
+      tok_.int_value = std::stol(tok_.text);
+      pos_ = j;
+      return;
+    }
+    tok_.kind = Token::Kind::Punct;
+    tok_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  Token tok_;
+};
+
+[[noreturn]] void fail(const std::string& msg, const Token& at) {
+  throw Error("pipeline spec: " + msg + " at offset " +
+              std::to_string(at.offset));
+}
+
+/// Check one parsed option value against its declared kind.
+void check_option(const PassInfo& pass, const std::string& opt,
+                  const OptionValue& value, const Token& at) {
+  const OptionSpec* spec = pass.option(opt);
+  if (!spec)
+    fail("pass '" + pass.name + "' has no option '" + opt + "'", at);
+  switch (spec->kind) {
+    case OptKind::Int:
+      if (value.kind != OptionValue::Kind::Int)
+        fail("option '" + opt + "' of pass '" + pass.name +
+                 "' expects an integer, got " +
+                 (value.kind == OptionValue::Kind::Flag
+                      ? "no value"
+                      : "name '" + value.name + "'"),
+             at);
+      break;
+    case OptKind::Expr:
+      if (value.kind == OptionValue::Kind::Flag)
+        fail("option '" + opt + "' of pass '" + pass.name +
+                 "' expects an integer or parameter name, got no value",
+             at);
+      break;
+    case OptKind::Str:
+      if (value.kind != OptionValue::Kind::Name)
+        fail("option '" + opt + "' of pass '" + pass.name +
+                 "' expects a name, got " +
+                 (value.kind == OptionValue::Kind::Flag
+                      ? "no value"
+                      : "integer '" + std::to_string(value.int_value) + "'"),
+             at);
+      break;
+    case OptKind::Flag:
+      if (value.kind != OptionValue::Kind::Flag)
+        fail("option '" + opt + "' of pass '" + pass.name +
+                 "' is a flag and takes no value",
+             at);
+      break;
+  }
+}
+
+PassInvocation parse_stage(Lexer& lex) {
+  Token name = lex.take();
+  if (name.kind != Token::Kind::Name)
+    fail("expected a pass name, got " + name.describe(), name);
+  const PassInfo* info = Registry::instance().lookup(name.text);
+  if (!info) fail("unknown pass '" + name.text + "'", name);
+
+  PassInvocation inv;
+  inv.pass = name.text;
+  if (lex.peek().kind == Token::Kind::Punct && lex.peek().text == "(") {
+    lex.take();
+    bool first = true;
+    while (!(lex.peek().kind == Token::Kind::Punct &&
+             lex.peek().text == ")")) {
+      if (!first) {
+        Token comma = lex.take();
+        if (comma.kind != Token::Kind::Punct || comma.text != ",")
+          fail("expected ',' or ')' in options of '" + inv.pass +
+                   "', got " + comma.describe(),
+               comma);
+      }
+      first = false;
+      Token opt = lex.take();
+      if (opt.kind != Token::Kind::Name)
+        fail("expected an option name in '" + inv.pass + "', got " +
+                 opt.describe(),
+             opt);
+      OptionValue value;  // defaults to Flag
+      if (lex.peek().kind == Token::Kind::Punct && lex.peek().text == "=") {
+        lex.take();
+        Token val = lex.take();
+        if (val.kind == Token::Kind::Int) {
+          value.kind = OptionValue::Kind::Int;
+          value.int_value = val.int_value;
+        } else if (val.kind == Token::Kind::Name) {
+          value.kind = OptionValue::Kind::Name;
+          value.name = val.text;
+        } else {
+          fail("expected a value after '" + opt.text + "=', got " +
+                   val.describe(),
+               val);
+        }
+      }
+      check_option(*info, opt.text, value, opt);
+      if (inv.find(opt.text))
+        fail("duplicate option '" + opt.text + "' for pass '" + inv.pass +
+                 "'",
+             opt);
+      inv.options.emplace_back(opt.text, std::move(value));
+    }
+    lex.take();  // ')'
+  }
+  for (const OptionSpec& spec : info->options)
+    if (spec.required && !inv.find(spec.name))
+      fail("pass '" + inv.pass + "' is missing required option '" +
+               spec.name + "'",
+           name);
+  return inv;
+}
+
+}  // namespace
+
+Pipeline parse_pipeline(std::string_view spec) {
+  Lexer lex(spec);
+  Pipeline pipe;
+  if (lex.peek().kind == Token::Kind::End)
+    throw Error("pipeline spec: empty spec");
+  for (;;) {
+    pipe.passes.push_back(parse_stage(lex));
+    const Token& next = lex.peek();
+    if (next.kind == Token::Kind::End) break;
+    if (next.kind == Token::Kind::Punct && next.text == ";") {
+      lex.take();
+      if (lex.peek().kind == Token::Kind::End) break;  // trailing ';' ok
+      continue;
+    }
+    fail("trailing garbage " + next.describe() + " after pass '" +
+             pipe.passes.back().pass + "'",
+         next);
+  }
+  return pipe;
+}
+
+namespace {
+
+/// Parse a +/- chain of names and integer literals ("K+BS-1").
+ir::IExprPtr parse_fact_term(const std::string& text) {
+  ir::IExprPtr acc;
+  std::size_t i = 0;
+  int sign = 1;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '+') { sign = 1; ++i; continue; }
+    if (c == '-') { sign = -1; ++i; continue; }
+    ir::IExprPtr piece;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[j])))
+        ++j;
+      piece = ir::iconst(std::stol(text.substr(i, j - i)));
+      i = j;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_'))
+        ++j;
+      piece = ir::ivar(text.substr(i, j - i));
+      i = j;
+    } else {
+      throw Error(std::string("fact: unexpected character '") + c + "'");
+    }
+    if (sign < 0) piece = ir::isub(ir::iconst(0), std::move(piece));
+    acc = acc ? ir::iadd(std::move(acc), std::move(piece))
+              : std::move(piece);
+  }
+  if (!acc) throw Error("fact: empty expression");
+  return acc;
+}
+
+}  // namespace
+
+void add_fact(analysis::Assumptions& ctx, std::string_view text) {
+  std::string fact;
+  for (char c : text)
+    if (!std::isspace(static_cast<unsigned char>(c))) fact += c;
+  for (const char* op : {"<=", ">="}) {
+    auto pos = fact.find(op);
+    if (pos == std::string::npos) continue;
+    ir::IExprPtr lhs = parse_fact_term(fact.substr(0, pos));
+    ir::IExprPtr rhs = parse_fact_term(fact.substr(pos + 2));
+    if (op[0] == '<')
+      ctx.assert_le(lhs, rhs);
+    else
+      ctx.assert_ge(lhs, rhs);
+    return;
+  }
+  throw Error("fact: expected '<=' or '>=' in '" + std::string(text) + "'");
+}
+
+}  // namespace blk::pm

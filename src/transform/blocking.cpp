@@ -1,14 +1,13 @@
+// The simple driver pieces that live with the transform primitives.  The
+// composite drivers (auto_block & friends) are implemented on the pass-
+// manager layer in src/pm/drivers.cpp; their declarations stay in
+// blocking.hpp so callers are unchanged.
 #include "transform/blocking.hpp"
 
 #include "ir/error.hpp"
-#include "transform/ifinspect.hpp"
 #include "transform/instrument.hpp"
 #include "transform/interchange.hpp"
-#include "transform/pattern.hpp"
-#include "transform/scalarrepl.hpp"
-#include "transform/split.hpp"
 #include "transform/stripmine.hpp"
-#include "transform/unrolljam.hpp"
 
 namespace blk::transform {
 
@@ -22,9 +21,7 @@ Loop& strip_mine_and_interchange(Program& p, Loop& loop, IExprPtr block,
   return strip;
 }
 
-namespace {
-
-void simplify_bounds_rec(StmtList& body, Assumptions ctx) {
+void simplify_bounds_in(StmtList& body, Assumptions ctx) {
   for (auto& s : body) {
     switch (s->kind()) {
       case SKind::Assign:
@@ -35,183 +32,22 @@ void simplify_bounds_rec(StmtList& body, Assumptions ctx) {
         l.ub = simplify(ctx.resolve_minmax(l.ub));
         Assumptions inner = ctx;
         inner.add_loop_range(l);
-        simplify_bounds_rec(l.body, std::move(inner));
+        simplify_bounds_in(l.body, std::move(inner));
         break;
       }
       case SKind::If: {
         If& f = s->as_if();
-        simplify_bounds_rec(f.then_body, ctx);
-        simplify_bounds_rec(f.else_body, ctx);
+        simplify_bounds_in(f.then_body, ctx);
+        simplify_bounds_in(f.else_body, ctx);
         break;
       }
     }
   }
 }
 
-}  // namespace
-
 void simplify_all_bounds(StmtList& body, const Assumptions& hints) {
   PassScope scope("simplify-bounds", body);
-  simplify_bounds_rec(body, hints);
-}
-
-AutoBlockResult auto_block(Program& p, Loop& loop, IExprPtr block,
-                           const Assumptions& hints,
-                           bool use_commutativity) {
-  AutoBlockResult result;
-
-  // 1. Strip-mine (with the MIN guard, so the result is exact for ragged
-  //    trailing blocks).
-  Loop& strip = strip_mine(p, loop, std::move(block));
-  result.strip = &strip;
-
-  // 2. Procedure IndexSetSplit against the strip loop's recurrences.  The
-  //    hints (e.g. the full-block view K+BS-1 <= N-1) steer only *where*
-  //    to split — splitting itself is unconditionally safe, so a hint that
-  //    is false for the ragged final block cannot break correctness.
-  SplitReport rep =
-      index_set_split(p.body, strip, hints, use_commutativity);
-  result.splits = rep.splits;
-  if (!rep.distributable) return result;
-
-  // 3. Distribute the strip loop over its dependence components.  The
-  //    commutativity filter is rebuilt: splitting moved and cloned
-  //    statements.  NOTE: legality here must not lean on the hints (they
-  //    may be false on the ragged block); loop-range facts alone decide.
-  IgnoreEdge ignore;
-  if (use_commutativity) ignore = commutativity_filter(strip);
-  result.pieces = distribute(p.body, strip, nullptr, ignore);
-  result.blocked = result.pieces.size() > 1 || rep.distributable;
-  // Distribution replaced the strip node; re-point at the surviving copy
-  // (the first piece still carries the strip variable at its head).
-  result.strip =
-      result.pieces.empty() ? &strip : result.pieces.front();
-
-  // 4. Sink the strip loop in every piece that forms a perfect nest.  The
-  //    MIN/MAX bounds created by splitting are first resolved using only
-  //    loop-range facts (always exact); e.g. MAX(KK+1, <split point>+1)
-  //    resolves to the split-point side because KK never exceeds it.
-  for (Loop* piece : result.pieces) {
-    if (piece->body.size() != 1 || piece->body[0]->kind() != SKind::Loop)
-      continue;  // the point-algorithm piece keeps the strip loop outside
-    Assumptions ctx;
-    for (Loop* outer : enclosing_loops(p.body, *piece))
-      ctx.add_loop_range(*outer);
-    ctx.add_loop_range(*piece);
-    simplify_bounds_rec(piece->body, ctx);
-    result.interchanges +=
-        sink_loop(p.body, *piece, /*check=*/true, nullptr);
-  }
-  return result;
-}
-
-int register_block(Program& p, Loop& loop, long factor,
-                   const Assumptions& hints) {
-  // Jam: triangular when the immediate inner bound tracks the unrolled
-  // variable with slope one, rectangular otherwise.
-  bool triangular = false;
-  if (loop.body.size() == 1 && loop.body[0]->kind() == SKind::Loop) {
-    const Loop& inner = loop.body[0]->as_loop();
-    if (auto f = as_affine(*inner.lb);
-        f && f->coef_of(loop.var) == 1 && !mentions(*inner.ub, loop.var))
-      triangular = true;
-  }
-  if (triangular)
-    unroll_and_jam_triangular(p.body, loop, factor, &hints);
-  else
-    unroll_and_jam(p.body, loop, factor, &hints);
-
-  // Scalar-replace the invariant references of every innermost loop the
-  // jam produced (the unrolled accumulators).
-  std::vector<Loop*> innermost;
-  for_each_stmt(p.body, [&](Stmt& s) {
-    if (s.kind() != SKind::Loop) return;
-    Loop& l = s.as_loop();
-    bool has_inner = false;
-    for (const auto& c : l.body)
-      if (c->kind() == SKind::Loop) has_inner = true;
-    if (!has_inner) innermost.push_back(&l);
-  });
-  int replaced = 0;
-  for (Loop* l : innermost)
-    replaced += scalar_replace(p, p.body, *l, hints);
-  return replaced;
-}
-
-AutoBlockResult auto_block_plus(Program& p, Loop& loop, IExprPtr block,
-                                long unroll, const Assumptions& hints,
-                                bool use_commutativity) {
-  AutoBlockResult result =
-      auto_block(p, loop, std::move(block), hints, use_commutativity);
-  if (!result.blocked || unroll <= 1) return result;
-  // Register-block the trailing pieces (the perfect nests the strip loop
-  // sank into); the first piece keeps the point algorithm, as in Fig. 6.
-  for (std::size_t i = 1; i < result.pieces.size(); ++i) {
-    try {
-      register_block(p, *result.pieces[i], unroll, hints);
-    } catch (const Error&) {
-      // An unjammable piece stays as derived; blocking already succeeded.
-    }
-  }
-  return result;
-}
-
-ConvOptResult optimize_convolution(Program& p, long unroll,
-                                   const Assumptions& hints) {
-  if (p.body.empty() || p.body[0]->kind() != SKind::Loop)
-    throw Error("optimize_convolution: expected an outer loop");
-  ConvOptResult result;
-
-  // 1. De-trapezoidalize.
-  result.pieces = split_trapezoid_all(p.body, p.body[0]->as_loop());
-
-  for (Loop* piece : result.pieces) {
-    if (piece->body.size() != 1 || piece->body[0]->kind() != SKind::Loop)
-      continue;
-    Loop& inner = piece->body[0]->as_loop();
-    // 2. Rhomboid (both inner bounds track the outer variable with the
-    //    same slope): normalization makes it rectangular.
-    auto flb = as_affine(*inner.lb);
-    auto fub = as_affine(*inner.ub);
-    if (flb && fub) {
-      long a_lb = flb->coef_of(piece->var);
-      long a_ub = fub->coef_of(piece->var);
-      if (a_lb != 0 && a_lb == a_ub) {
-        normalize_loop(p.body, inner);
-        ++result.normalized;
-      }
-    }
-    // 3. Register blocking: unroll-and-jam + scalar replacement.  A piece
-    //    whose dependences or shape refuse stays as split.
-    try {
-      register_block(p, *piece, unroll, hints);
-      ++result.jammed;
-    } catch (const Error&) {
-    }
-  }
-  return result;
-}
-
-GivensOptResult optimize_givens(Program& p) {
-  if (p.body.empty() || p.body[0]->kind() != SKind::Loop)
-    throw Error("optimize_givens: expected an outer column loop");
-  Loop& l = p.body[0]->as_loop();
-  if (l.body.size() != 1 || l.body[0]->kind() != SKind::Loop)
-    throw Error("optimize_givens: expected the guarded row loop inside");
-  Loop& j = l.body[0]->as_loop();
-
-  // 1. Preparation + inspection (Fig. 10's first half).
-  IfInspectResult insp = if_inspect_auto(p, p.body, j);
-
-  GivensOptResult result;
-  // 2. Sink the executor's row loop below the update loop: the executor
-  //    (DO J = JLB(JN), JUB(JN)) perfectly nests the K update loop; two
-  //    rectangular interchanges make K outermost of the JN/J pair.
-  interchange(p.body, *insp.executor);
-  interchange(p.body, *insp.range_loop);
-  result.interchanges = 2;
-  result.column_loop = insp.range_loop;  // now the K loop (in place)
-  return result;
+  simplify_bounds_in(body, hints);
 }
 
 void normalize_loop(StmtList& root, Loop& loop, long origin) {

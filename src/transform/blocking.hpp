@@ -27,6 +27,12 @@ ir::Loop& strip_mine_and_interchange(ir::Program& p, ir::Loop& loop,
 void simplify_all_bounds(ir::StmtList& body,
                          const analysis::Assumptions& hints = {});
 
+/// Uninstrumented core of simplify_all_bounds (no PassScope): resolve
+/// MIN/MAX loop bounds under `ctx` plus inner loops' range facts.  Used by
+/// the pass manager's interchange stage, which runs it per distributed
+/// piece inside its own instrumentation.
+void simplify_bounds_in(ir::StmtList& body, analysis::Assumptions ctx);
+
 /// Outcome of the automatic blocking pipeline.
 struct AutoBlockResult {
   bool blocked = false;        ///< distribution succeeded

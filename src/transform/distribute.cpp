@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/manager.hpp"
 #include "ir/error.hpp"
 #include "transform/instrument.hpp"
 
@@ -15,8 +16,8 @@ std::vector<Loop*> distribute(StmtList& root, Loop& loop,
                               const analysis::Assumptions* ctx,
                               const IgnoreEdge& ignore) {
   PassScope scope("distribute", root);
-  DepGraph g(root, loop, ctx);
-  std::vector<std::vector<std::size_t>> groups = g.components(ignore);
+  analysis::DepGraphPtr g = analysis::dep_graph_for(root, loop, ctx);
+  std::vector<std::vector<std::size_t>> groups = g->components(ignore);
 
   if (groups.size() <= 1) return {&loop};
 

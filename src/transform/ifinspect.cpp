@@ -4,6 +4,7 @@
 #include <set>
 
 #include "analysis/ddtest.hpp"
+#include "analysis/manager.hpp"
 #include "ir/affine.hpp"
 #include "analysis/sections.hpp"
 #include "ir/error.hpp"
@@ -142,8 +143,8 @@ IfInspectResult if_inspect_auto(Program& p, StmtList& root, Loop& loop) {
       analysis::Assumptions ctx;
       for (Loop* outer : enclosing_loops(root, loop))
         ctx.add_loop_range(*outer);
-      analysis::Section s_src = analysis::section_within(dep.src, loop);
-      analysis::Section s_dst = analysis::section_within(dep.dst, loop);
+      analysis::Section s_src = analysis::section_within_for(dep.src, loop);
+      analysis::Section s_dst = analysis::section_within_for(dep.dst, loop);
       for (const auto& cand :
            analysis::split_boundaries(s_src, s_dst, ctx)) {
         // Only split loops that live inside the work statement.

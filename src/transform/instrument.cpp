@@ -1,35 +1,62 @@
 #include "transform/instrument.hpp"
 
+#include <algorithm>
 #include <exception>
+#include <vector>
+
+#include "analysis/manager.hpp"
 
 namespace blk::transform {
 
 namespace {
-PassObserver* g_observer = nullptr;
+// One observer stack per thread: fuzzer campaigns install a
+// VerifiedPipeline per seed from a thread pool and must not see (or
+// clobber) each other's observers.
+thread_local std::vector<PassObserver*> t_observers;
 }  // namespace
 
 PassObserver* set_pass_observer(PassObserver* obs) {
-  PassObserver* prev = g_observer;
-  g_observer = obs;
+  PassObserver* prev = t_observers.empty() ? nullptr : t_observers.back();
+  if (obs == nullptr) {
+    t_observers.clear();
+    return prev;
+  }
+  // Restoring a pointer already on the stack pops down to it (the RAII
+  // uninstall path); anything new pushes.
+  auto it = std::find(t_observers.begin(), t_observers.end(), obs);
+  if (it != t_observers.end())
+    t_observers.erase(it + 1, t_observers.end());
+  else
+    t_observers.push_back(obs);
   return prev;
 }
 
-PassObserver* pass_observer() { return g_observer; }
+PassObserver* pass_observer() {
+  return t_observers.empty() ? nullptr : t_observers.back();
+}
+
+std::size_t pass_observer_depth() { return t_observers.size(); }
 
 PassScope::PassScope(std::string_view name, ir::StmtList& root)
     : name_(name),
       root_(root),
       uncaught_(std::uncaught_exceptions()),
-      active_(g_observer != nullptr) {
-  if (active_) g_observer->before_pass(name_, root_);
+      depth_(t_observers.size()) {
+  for (std::size_t i = 0; i < depth_; ++i)
+    t_observers[i]->before_pass(name_, root_);
 }
 
 PassScope::~PassScope() {
-  if (!active_) return;
   // The pass committed iff no new exception is in flight relative to
   // construction time (legality refusals throw after undoing trials).
   bool committed = std::uncaught_exceptions() == uncaught_;
-  if (g_observer) g_observer->after_pass(name_, root_, committed);
+  // Whatever happened, the tree may have been rewritten (trial undos
+  // restore *values*, not node identities): cached analyses go stale.
+  analysis::notify_pass_end(name_, committed);
+  // Observers that joined mid-pass never saw `before`; skip their `after`.
+  std::size_t n = std::min(depth_, t_observers.size());
+  for (std::size_t i = n; i-- > 0;)
+    t_observers[i]->after_pass(name_, root_, committed);
 }
 
 }  // namespace blk::transform

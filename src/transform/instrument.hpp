@@ -1,7 +1,8 @@
 // Pass instrumentation: every transformation entry point announces itself
-// through a process-wide observer hook so an external client — the
-// translation validator in src/verify — can snapshot the IR before a pass
-// and audit the result after it, without the passes knowing who watches.
+// through an observer hook so external clients — the translation validator
+// in src/verify, the pass manager's statistics collector in src/pm — can
+// snapshot the IR before a pass and audit the result after it, without the
+// passes knowing who watches.
 //
 // The hook is deliberately minimal: a pass wraps its body in a PassScope;
 // the observer receives before/after callbacks with the statement-tree
@@ -9,6 +10,14 @@
 // primitives) produce properly nested scopes, so observers can verify at
 // primitive granularity.  A pass that throws (legality refused, trial
 // undone) reports `committed = false` and observers discard the snapshot.
+//
+// Observer registration is per-thread and stacking.  Each thread owns an
+// independent observer stack (the fuzzer installs a VerifiedPipeline per
+// seed from a thread pool; campaigns must not see each other's passes).
+// Installing pushes; uninstalling restores the previous observer, so
+// nested clients (a VerifiedPipeline inside an instrumented pipeline run)
+// compose: a PassScope notifies every stacked observer, outermost first on
+// `before`, innermost first on `after`.
 #pragma once
 
 #include <string_view>
@@ -27,14 +36,29 @@ class PassObserver {
                           bool committed) = 0;
 };
 
-/// Install `obs` as the process-wide observer (nullptr uninstalls).
-/// Returns the previously installed observer so clients can chain/restore.
+/// Install `obs` as this thread's innermost observer (nullptr uninstalls
+/// the whole stack — legacy behaviour kept for tests).  Returns the
+/// previously innermost observer so clients can chain/restore by passing
+/// it back, which pops `obs` again.  The common RAII pattern:
+///
+///   prev_ = set_pass_observer(this);   // install (push)
+///   ...
+///   set_pass_observer(prev_);          // restore (pop back to prev)
+///
+/// works unchanged, but now per-thread and without clobbering outer
+/// observers: passing back a pointer that is already on the stack pops
+/// down to it instead of pushing a duplicate.
 PassObserver* set_pass_observer(PassObserver* obs);
 
-/// The currently installed observer (nullptr when none).
+/// This thread's innermost observer (nullptr when none).
 [[nodiscard]] PassObserver* pass_observer();
 
+/// Number of observers currently stacked on this thread.
+[[nodiscard]] std::size_t pass_observer_depth();
+
 /// RAII marker placed at the top of each transformation entry point.
+/// The observer stack is captured at construction, so observers installed
+/// mid-pass only see subsequently started passes.
 class PassScope {
  public:
   PassScope(std::string_view name, ir::StmtList& root);
@@ -46,7 +70,7 @@ class PassScope {
   std::string_view name_;
   ir::StmtList& root_;
   int uncaught_;
-  bool active_;
+  std::size_t depth_;  ///< observer-stack depth captured at entry
 };
 
 }  // namespace blk::transform

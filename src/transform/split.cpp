@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <set>
 
+#include "analysis/manager.hpp"
 #include "ir/affine.hpp"
 #include "ir/error.hpp"
 #include "transform/instrument.hpp"
@@ -261,10 +262,10 @@ struct BodyShape {
 
 BodyShape shape_of(StmtList& root, Loop& carrier, const Assumptions& base,
                    bool use_commutativity) {
-  DepGraph g(root, carrier, &base);
+  analysis::DepGraphPtr g = analysis::dep_graph_for(root, carrier, &base);
   DepGraph::EdgeFilter ignore;
   if (use_commutativity) ignore = commutativity_filter(carrier);
-  auto comps = g.components(ignore);
+  auto comps = g->components(ignore);
   BodyShape s{.parts = comps.size(), .recurrence = false};
   for (const auto& c : comps)
     if (c.size() > 1) s.recurrence = true;
@@ -281,7 +282,10 @@ SplitReport index_set_split(StmtList& root, Loop& carrier,
   std::set<std::string> attempted;  // "var@point" keys, to guarantee progress
 
   for (int iter = 0; iter < 8; ++iter) {
-    DepGraph g(root, carrier, &base);
+    // Both this scan and shape_of below want the carrier graph; the
+    // AnalysisManager (when installed) coalesces them into one build.
+    analysis::DepGraphPtr g =
+        analysis::dep_graph_for(root, carrier, &base);
     DepGraph::EdgeFilter ignore;
     if (use_commutativity) ignore = commutativity_filter(carrier);
     BodyShape before = shape_of(root, carrier, base, use_commutativity);
@@ -290,14 +294,14 @@ SplitReport index_set_split(StmtList& root, Loop& carrier,
       return report;
     }
     bool progressed = false;
-    for (const auto& e : g.recurrence_edges()) {
+    for (const auto& e : g->recurrence_edges()) {
       const RefInfo& src = e.dep.src;
       const RefInfo& dst = e.dep.dst;
       if (src.is_scalar() || dst.is_scalar()) continue;
       if (ignore && ignore(e)) continue;  // already discounted
       // Steps 1-3 of Fig. 3: sections, intersection vs union.
-      Section s_src = analysis::section_within(src, carrier);
-      Section s_dst = analysis::section_within(dst, carrier);
+      Section s_src = analysis::section_within_for(src, carrier);
+      Section s_dst = analysis::section_within_for(dst, carrier);
       if (auto eq = analysis::equal(s_src, s_dst, base); eq && *eq)
         continue;  // intersection == union: nothing to carve off
       // Step 4: boundary between the disjoint and common regions.
@@ -328,11 +332,14 @@ SplitReport index_set_split(StmtList& root, Loop& carrier,
           progressed = true;
           break;
         }
-        // No progress: undo (restore the bound, drop the clone).
+        // No progress: undo (restore the bound, drop the clone).  This
+        // mutates the tree outside any PassScope, so cached analyses must
+        // be dropped by hand.
         lo->ub = std::move(saved_ub);
         LoopLocation loc = locate(root, *hi);
         loc.parent->erase(loc.parent->begin() +
                           static_cast<long>(loc.index));
+        analysis::notify_ir_mutation();
       }
       if (progressed) break;
     }

@@ -5,12 +5,20 @@
 // approved it.
 //
 // Seeds are independent, so the whole campaign fans out across a thread
-// pool (none of the transformation or execution machinery has global
-// mutable state); workers report failures as strings collected under a
-// mutex because gtest assertions are not thread-safe off the main thread.
+// pool (observer registration and analysis-manager installation are
+// thread-local; nothing else has global mutable state); workers report
+// failures as strings collected under a mutex because gtest assertions
+// are not thread-safe off the main thread.
 // Each seed also cross-checks the two execution engines: the bytecode VM
 // must match the tree-walking oracle bit-for-bit on stores, traces and
 // statement counts for every program the fuzzer produces.
+//
+// Mutations are driven through the pass-manager layer: every step is a
+// parsed "focus(...); <pass>" pipeline over a context whose
+// AnalysisManager persists across the whole round, so the fuzzer also
+// stresses cache invalidation — a stale dependence graph surviving a
+// committed pass would approve an illegal transformation and show up as
+// interpreter divergence.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -26,15 +34,9 @@
 #include "ir/error.hpp"
 #include "ir/printer.hpp"
 #include "ir/validate.hpp"
+#include "pm/runner.hpp"
+#include "pm/spec.hpp"
 #include "testutil.hpp"
-#include "transform/blocking.hpp"
-#include "transform/distribute.hpp"
-#include "transform/fuse.hpp"
-#include "transform/interchange.hpp"
-#include "transform/scalarrepl.hpp"
-#include "transform/split.hpp"
-#include "transform/stripmine.hpp"
-#include "transform/unrolljam.hpp"
 #include "verify/pipeline.hpp"
 
 namespace blk {
@@ -42,7 +44,6 @@ namespace {
 
 using namespace blk::ir;
 using namespace blk::ir::dsl;
-using namespace blk::transform;
 
 constexpr long kPad = 96;  // array bounds ample for every subscript below
 
@@ -121,46 +122,62 @@ struct Gen {
     return p;
   }
 
-  /// Apply up to `n` random transformations; illegal requests throw and
-  /// are skipped (that is the legality system doing its job).
-  void mutate(Program& p, int n) {
+  /// Apply up to `n` random pass-pipeline steps; illegal requests throw
+  /// inside the runner and are skipped (that is the legality system doing
+  /// its job).  Each step is its own parsed pipeline: a `focus` stage
+  /// retargets the shared context (resetting stage products so nothing
+  /// stale is dereferenced after a structural mutation), then one
+  /// registry pass mutates the IR.
+  void mutate(pm::PipelineContext& ctx, int n) {
+    Program& p = ctx.prog;
     for (int i = 0; i < n; ++i) {
       std::vector<Loop*> loops;
       for_each_stmt(p.body, [&](Stmt& s) {
         if (s.kind() == SKind::Loop) loops.push_back(&s.as_loop());
       });
       if (loops.empty()) return;
-      Loop* l = loops[static_cast<std::size_t>(
-          pick(0, static_cast<long>(loops.size()) - 1))];
+      std::size_t which = static_cast<std::size_t>(
+          pick(0, static_cast<long>(loops.size()) - 1));
+      Loop* l = loops[which];
+      // nth_loop and for_each_stmt agree on pre-order, so (var, rank
+      // among same-var loops) addresses exactly `l`.
+      long rank = 0;
+      for (std::size_t j = 0; j < which; ++j)
+        if (loops[j]->var == l->var) ++rank;
+      std::string spec =
+          "focus(var=" + l->var + ", index=" + std::to_string(rank) + "); ";
+      const bool unit_step =
+          l->step->kind == IKind::Const && l->step->value == 1;
+      switch (pick(0, 7)) {
+        case 0:
+          if (!unit_step) continue;
+          spec += "stripmine(b=" + std::to_string(pick(2, 5)) + ")";
+          break;
+        case 1:
+          spec += "splitat(at=" + std::to_string(pick(-2, 14)) + ")";
+          break;
+        case 2:
+          spec += "interchange";
+          break;
+        case 3:
+          if (!unit_step) continue;
+          spec += "unrolljam(u=" + std::to_string(pick(2, 3)) + ")";
+          break;
+        case 4:
+          spec += "distribute";
+          break;
+        case 5:
+          spec += "normalize(origin=0)";
+          break;
+        case 6:
+          spec += "fuse";
+          break;
+        case 7:
+          spec += "reverse";
+          break;
+      }
       try {
-        switch (pick(0, 7)) {
-          case 0:
-            if (l->step->kind == IKind::Const && l->step->value == 1)
-              strip_mine(p, *l, iconst(pick(2, 5)));
-            break;
-          case 1:
-            split_at(p.body, *l, iconst(pick(-2, 14)));
-            break;
-          case 2:
-            interchange(p.body, *l);
-            break;
-          case 3:
-            if (l->step->kind == IKind::Const && l->step->value == 1)
-              unroll_and_jam(p.body, *l, pick(2, 3));
-            break;
-          case 4:
-            distribute(p.body, *l);
-            break;
-          case 5:
-            normalize_loop(p.body, *l, 0);
-            break;
-          case 6:
-            (void)fuse(p.body, *l);
-            break;
-          case 7:
-            reverse_loop(p.body, *l);
-            break;
-        }
+        (void)pm::run_pipeline(pm::parse_pipeline(spec), ctx);
       } catch (const blk::Error&) {
         // Precondition or legality refused: fine, try something else.
       }
@@ -212,9 +229,11 @@ struct Gen {
     Program mutated = original.clone();
     {
       // Translation-validate every committed pass: the legality system and
-      // the independent dependence-preservation checker must agree.
+      // the independent dependence-preservation checker must agree.  The
+      // context (and its analysis cache) lives for the whole round.
       verify::VerifiedPipeline vp(mutated);
-      gen.mutate(mutated, 5);
+      pm::PipelineContext ctx(mutated);
+      gen.mutate(ctx, 5);
       if (!vp.ok()) {
         failures.push_back("seed " + std::to_string(seed) + " round " +
                            std::to_string(round) + "\n" + vp.to_string() +

@@ -1,0 +1,179 @@
+// Pipeline runner: declarative specs reproduce the hand-written drivers
+// bit-identically, stage products thread between passes, and per-pass
+// stats are recorded.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "pm/runner.hpp"
+#include "pm/spec.hpp"
+#include "testutil.hpp"
+#include "transform/blocking.hpp"
+#include "verify/pipeline.hpp"
+
+namespace blk::pm {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+analysis::Assumptions full_block_hint() {
+  analysis::Assumptions hints;
+  hints.assert_le(v("K") + v("KS") - 1, v("N") - 1);
+  return hints;
+}
+
+// §5.1: the declarative pipeline derives the same block LU (Fig. 6) as
+// the auto_block driver, bit-identically.
+TEST(PipelineRunner, BlockLuSpecMatchesAutoBlockDriver) {
+  Program via_driver = blk::kernels::lu_point_ir();
+  via_driver.param("KS");
+  (void)transform::auto_block(via_driver, via_driver.body[0]->as_loop(),
+                              ivar("KS"), full_block_hint());
+
+  Program via_spec = blk::kernels::lu_point_ir();
+  RunReport report = run_spec(
+      via_spec, "stripmine(b=KS); split; distribute; interchange",
+      full_block_hint());
+
+  EXPECT_EQ(print(via_spec.body), print(via_driver.body));
+  ASSERT_EQ(report.passes.size(), 4u);
+  EXPECT_EQ(report.passes[1].note, "1 splits, distributable");
+  EXPECT_EQ(report.passes[2].note, "2 pieces");
+  EXPECT_EQ(report.passes[3].note, "2 interchanges");
+}
+
+// §5.2 acceptance: pivoted LU blocks under the commutativity-armed spec,
+// identically to auto_block(use_commutativity=true).
+TEST(PipelineRunner, PivotedBlockLuSpecMatchesDriverBitIdentically) {
+  analysis::Assumptions hints;
+  hints.assert_le(v("K") + v("BS") - 1, v("N") - 1);
+
+  Program via_driver = blk::kernels::lu_pivot_point_ir();
+  via_driver.param("BS");
+  auto res = transform::auto_block(via_driver,
+                                   via_driver.body[0]->as_loop(),
+                                   ivar("BS"), hints,
+                                   /*use_commutativity=*/true);
+  ASSERT_TRUE(res.blocked);
+
+  Program via_spec = blk::kernels::lu_pivot_point_ir();
+  (void)run_spec(
+      via_spec,
+      "stripmine(b=BS); split; distribute(commutativity); interchange",
+      hints);
+
+  EXPECT_EQ(print(via_spec.body), print(via_driver.body));
+}
+
+// Naming commutativity on *any* stage arms it pipeline-wide: the split
+// stage needs it too (§5.2's progress measure), so arming only distribute
+// must still block.
+TEST(PipelineRunner, CommutativityOnOneStageArmsWholePipeline) {
+  analysis::Assumptions hints;
+  hints.assert_le(v("K") + v("BS") - 1, v("N") - 1);
+
+  Program with = blk::kernels::lu_pivot_point_ir();
+  RunReport r_with = run_spec(
+      with, "stripmine(b=BS); split(commutativity); distribute; interchange",
+      hints);
+  EXPECT_FALSE(r_with.passes[2].skipped);
+
+  // Without the flag anywhere, pivoted LU must refuse to distribute and
+  // the downstream stages report skipped.
+  Program without = blk::kernels::lu_pivot_point_ir();
+  RunReport r_without = run_spec(
+      without, "stripmine(b=BS); split; distribute; interchange", hints);
+  EXPECT_TRUE(r_without.passes[2].skipped);
+  EXPECT_TRUE(r_without.passes[3].skipped);
+}
+
+// The derived program computes what the point algorithm computes.
+TEST(PipelineRunner, SpecDerivedBlockLuIsEquivalent) {
+  Program point = blk::kernels::lu_point_ir();
+  Program blocked = blk::kernels::lu_point_ir();
+  (void)run_spec(blocked, "stripmine(b=KS); split; distribute; interchange",
+                 full_block_hint());
+  for (auto [n, ks] : {std::pair<long, long>{16, 4}, {17, 5}, {8, 16}}) {
+    ir::Env env{{"N", n}, {"KS", ks}};
+    EXPECT_EQ(0.0, blk::test::run_and_diff(point, blocked, env, 13,
+                                           {{"A", static_cast<double>(n)}}))
+        << "N=" << n << " KS=" << ks;
+  }
+}
+
+// The whole pipeline runs clean under translation validation.
+TEST(PipelineRunner, SpecRunVerifiesUnderVerifiedPipeline) {
+  Program p = blk::kernels::lu_point_ir();
+  p.param("KS");
+  verify::VerifiedPipeline vp(p);
+  (void)run_spec(p, "stripmine(b=KS); split; distribute; interchange",
+                 full_block_hint());
+  EXPECT_FALSE(vp.steps().empty());
+  EXPECT_TRUE(vp.ok()) << vp.to_string();
+}
+
+// focus retargets; composite autoblock equals the primitive spelling.
+TEST(PipelineRunner, CompositeAutoblockMatchesPrimitiveSpelling) {
+  Program a = blk::kernels::lu_point_ir();
+  (void)run_spec(a, "autoblock(b=KS)", full_block_hint());
+  Program b = blk::kernels::lu_point_ir();
+  (void)run_spec(b, "stripmine(b=KS); split; distribute; interchange",
+                 full_block_hint());
+  EXPECT_EQ(print(a.body), print(b.body));
+}
+
+TEST(PipelineRunner, FocusSelectsLoopByVarAndIndex) {
+  Program p = blk::kernels::lu_point_ir();
+  PipelineContext ctx(p);
+  Pipeline pipe = parse_pipeline("focus(var=I, index=1)");
+  (void)run_pipeline(pipe, ctx);
+  ASSERT_NE(ctx.focus, nullptr);
+  EXPECT_EQ(ctx.focus->var, "I");
+
+  Pipeline bad = parse_pipeline("focus(var=Q)");
+  PipelineContext ctx2(p);
+  EXPECT_THROW((void)run_pipeline(bad, ctx2), blk::Error);
+}
+
+// Per-pass observability: wall time, IR statement delta, cache counters.
+TEST(PipelineRunner, StatsRecordIrDeltaAndCacheTraffic) {
+  Program p = blk::kernels::lu_point_ir();
+  RunReport report = run_spec(
+      p, "stripmine(b=KS); split; distribute; interchange",
+      full_block_hint());
+
+  const PassStat& strip = report.passes[0];
+  EXPECT_EQ(strip.invocation, "stripmine(b=KS)");
+  EXPECT_GT(strip.stmts_after, strip.stmts_before);
+  EXPECT_GE(strip.seconds, 0.0);
+
+  const PassStat& split = report.passes[1];
+  EXPECT_GT(split.analysis_misses, 0u);
+  EXPECT_GT(split.analysis_hits, 0u);  // memoization pays within the stage
+
+  EXPECT_GT(report.analysis.build_seconds, 0.0);
+  EXPECT_GT(report.total_seconds, 0.0);
+
+  std::string json = report_json(report, "lu_point", "spec");
+  EXPECT_NE(json.find("\"stmts_before\""), std::string::npos);
+  EXPECT_NE(json.find("\"analysis_hits\""), std::string::npos);
+  EXPECT_NE(json.find("stripmine(b=KS)"), std::string::npos);
+}
+
+// The registry covers every primitive and driver the issue names.
+TEST(PipelineRunner, RegistryCoversTheCatalogue) {
+  for (const char* name :
+       {"stripmine", "interchange", "split", "splitat", "split-trapezoid",
+        "distribute", "fuse", "unrolljam", "scalarrepl", "scalarexpand",
+        "ifinspect", "simplify-bounds", "normalize", "reverse", "focus",
+        "autoblock", "autoblockplus", "registerblock", "optconv",
+        "optgivens"}) {
+    EXPECT_NE(Registry::instance().lookup(name), nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace blk::pm

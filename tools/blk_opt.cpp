@@ -1,0 +1,294 @@
+// blk-opt: an opt-style driver for the pass manager.
+//
+// Parses a mini-Fortran program, runs a declarative pass pipeline over it
+// under translation validation, and prints the resulting IR plus per-pass
+// statistics.
+//
+//   blk-opt -p "stripmine(b=BS); split; distribute(commutativity); interchange"
+//           --assume 'K+BS-1<=N-1' --check N=24,BS=5 lu_pivot.f
+//
+// Options:
+//   -p, --pipeline SPEC  the pass pipeline (required; see --print-registry)
+//   --assume FACT        add a symbolic fact for the analyses (repeatable)
+//   --check BINDINGS     run the original and transformed programs on the
+//                        bytecode VM with the given parameter bindings
+//                        (e.g. N=24,BS=5) and compare results (repeatable)
+//   --golden FILE        diff the printed result against FILE; exit 1 on
+//                        mismatch
+//   --bench_json PATH    write per-pass stats (wall time, IR statement
+//                        delta, analysis cache hits/misses) as JSON
+//   --no-verify          skip translation validation of each pass
+//   --print-registry     list every registered pass and exit
+//   --quiet              suppress the pass-stat table on stderr
+//
+// Exit status: 0 success, 1 verification/check/golden failure, 2 usage or
+// compile error.
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "interp/interp.hpp"
+#include "interp/vm.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "lang/parser.hpp"
+#include "pm/runner.hpp"
+#include "pm/spec.hpp"
+#include "verify/pipeline.hpp"
+
+namespace {
+
+using blk::pm::PassStat;
+
+std::string read_all(std::istream& in) {
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Parse "N=24,BS=5" into an Env.
+blk::ir::Env parse_bindings(const std::string& text) {
+  blk::ir::Env env;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw blk::Error("--check: expected NAME=INT in '" + item + "'");
+    env[item.substr(0, eq)] = std::stol(item.substr(eq + 1));
+  }
+  if (env.empty()) throw blk::Error("--check: empty binding list");
+  return env;
+}
+
+/// Seed every array of an engine from its name (matching the test suite's
+/// convention, so temporaries introduced by transformation do not shift
+/// the shared arrays' streams).
+void seed_inputs(blk::interp::ExecEngine& e, std::uint64_t seed) {
+  for (auto& [name, t] : e.store().arrays) {
+    std::uint64_t k = seed;
+    for (char ch : name)
+      k = k * 1099511628211ULL + static_cast<unsigned char>(ch);
+    blk::interp::fill_random(t, k);
+  }
+}
+
+/// Max elementwise difference between the two programs' results under
+/// `params` on the bytecode VM.
+double run_and_diff(const blk::ir::Program& a, const blk::ir::Program& b,
+                    const blk::ir::Env& params) {
+  blk::interp::ExecEngine ia(a, params);
+  blk::interp::ExecEngine ib(b, params);
+  seed_inputs(ia, 0x5eed);
+  seed_inputs(ib, 0x5eed);
+  ia.run();
+  ib.run();
+  return blk::interp::max_abs_diff(ia.store(), ib.store());
+}
+
+void print_registry() {
+  const auto& reg = blk::pm::Registry::instance();
+  for (const auto& [name, info] : reg.passes()) {
+    std::cout << name;
+    if (!info.options.empty()) {
+      std::cout << "(";
+      bool first = true;
+      for (const auto& opt : info.options) {
+        if (!first) std::cout << ", ";
+        first = false;
+        std::cout << opt.name << ":" << blk::pm::to_string(opt.kind);
+        if (opt.required) std::cout << "!";
+      }
+      std::cout << ")";
+    }
+    if (info.composite) std::cout << "  [composite]";
+    std::cout << "\n    " << info.doc << "\n";
+    for (const auto& opt : info.options)
+      std::cout << "      " << opt.name << ": " << opt.doc << "\n";
+  }
+}
+
+void print_stats(const blk::pm::RunReport& report) {
+  std::cerr << "pass                                      seconds   stmts"
+               "   cache h/m\n";
+  for (const PassStat& s : report.passes) {
+    char line[256];
+    std::snprintf(line, sizeof line, "%-40s %8.6f %3ld->%-3ld %5llu/%-5llu",
+                  s.invocation.c_str(), s.seconds, s.stmts_before,
+                  s.stmts_after,
+                  static_cast<unsigned long long>(s.analysis_hits),
+                  static_cast<unsigned long long>(s.analysis_misses));
+    std::cerr << line;
+    if (s.skipped) std::cerr << "  [skipped]";
+    if (!s.note.empty()) std::cerr << "  " << s.note;
+    std::cerr << "\n";
+  }
+  std::cerr << "analysis cache: " << report.analysis.hits() << " hits, "
+            << report.analysis.misses() << " misses, "
+            << report.analysis.invalidations << " invalidations, "
+            << report.analysis.build_seconds << "s building\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::string spec;
+  std::string golden_path;
+  std::string json_path;
+  std::vector<blk::ir::Env> checks;
+  blk::analysis::Assumptions hints;
+  bool verify = true;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "blk-opt: " << flag << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "-p" || arg == "--pipeline") {
+        spec = need_value("-p");
+      } else if (arg == "--assume") {
+        blk::pm::add_fact(hints, need_value("--assume"));
+      } else if (arg == "--check") {
+        checks.push_back(parse_bindings(need_value("--check")));
+      } else if (arg == "--golden") {
+        golden_path = need_value("--golden");
+      } else if (arg == "--bench_json") {
+        json_path = need_value("--bench_json");
+      } else if (arg == "--no-verify") {
+        verify = false;
+      } else if (arg == "--quiet") {
+        quiet = true;
+      } else if (arg == "--print-registry") {
+        print_registry();
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout << "usage: blk-opt -p SPEC [--assume FACT]... "
+                     "[--check N=24,BS=5]... [--golden FILE]\n"
+                     "               [--bench_json PATH] [--no-verify] "
+                     "[--quiet] [file.f]\n"
+                     "       blk-opt --print-registry\n";
+        return 0;
+      } else if (arg.size() > 1 && arg[0] == '-') {
+        std::cerr << "blk-opt: unknown option '" << arg
+                  << "' (see --help)\n";
+        return 2;
+      } else if (!file.empty()) {
+        std::cerr << "blk-opt: more than one input file\n";
+        return 2;
+      } else {
+        file = std::move(arg);
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "blk-opt: " << e.what() << "\n";
+      return 2;
+    }
+  }
+  if (spec.empty()) {
+    std::cerr << "blk-opt: no pipeline (-p SPEC; see --print-registry)\n";
+    return 2;
+  }
+  if (file.empty()) file = "-";
+
+  std::string source;
+  if (file == "-") {
+    source = read_all(std::cin);
+  } else {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "blk-opt: cannot open " << file << "\n";
+      return 2;
+    }
+    source = read_all(in);
+  }
+
+  blk::lang::CompileResult compiled;
+  blk::pm::Pipeline pipeline;
+  try {
+    compiled = blk::lang::compile(source);
+    pipeline = blk::pm::parse_pipeline(spec);
+  } catch (const std::exception& e) {
+    std::cerr << "blk-opt: " << e.what() << "\n";
+    return 2;
+  }
+
+  blk::ir::Program& prog = compiled.program;
+  blk::ir::Program original = prog.clone();
+
+  blk::pm::PipelineContext ctx(prog, hints);
+  blk::pm::RunReport report;
+  try {
+    if (verify) {
+      blk::verify::VerifiedPipeline vp(prog);
+      report = blk::pm::run_pipeline(pipeline, ctx);
+      vp.throw_if_failed();
+    } else {
+      report = blk::pm::run_pipeline(pipeline, ctx);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "blk-opt: pipeline failed: " << e.what() << "\n";
+    return 1;
+  }
+
+  std::string printed = blk::ir::print(prog);
+  std::cout << printed;
+  if (!quiet) print_stats(report);
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "blk-opt: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << blk::pm::report_json(report, file, pipeline.to_string());
+  }
+
+  int status = 0;
+  for (const blk::ir::Env& env : checks) {
+    double diff = 0.0;
+    try {
+      diff = run_and_diff(original, prog, env);
+    } catch (const std::exception& e) {
+      std::cerr << "blk-opt: --check failed to run: " << e.what() << "\n";
+      status = 1;
+      continue;
+    }
+    std::ostringstream label;
+    for (const auto& [k, v] : env) label << k << "=" << v << " ";
+    if (diff != 0.0) {
+      std::cerr << "blk-opt: --check " << label.str()
+                << "DIVERGED (max |diff| = " << diff << ")\n";
+      status = 1;
+    } else if (!quiet) {
+      std::cerr << "blk-opt: --check " << label.str() << "ok\n";
+    }
+  }
+
+  if (!golden_path.empty()) {
+    std::ifstream in(golden_path);
+    if (!in) {
+      std::cerr << "blk-opt: cannot open golden " << golden_path << "\n";
+      return 2;
+    }
+    std::string golden = read_all(in);
+    if (golden != printed) {
+      std::cerr << "blk-opt: output differs from golden " << golden_path
+                << "\n--- golden ---\n"
+                << golden << "--- got ---\n"
+                << printed;
+      status = 1;
+    } else if (!quiet) {
+      std::cerr << "blk-opt: golden match\n";
+    }
+  }
+  return status;
+}

@@ -22,67 +22,10 @@
 #include "ir/iexpr.hpp"
 #include "ir/printer.hpp"
 #include "lang/parser.hpp"
+#include "pm/spec.hpp"
 #include "verify/lint.hpp"
 
 namespace {
-
-using blk::ir::IExprPtr;
-
-/// Parse a fact expression: integer literals, names, `+`/`-` chains.
-/// Minimal by design — enough to state driver hints like `K+KS-1<=N-1`.
-IExprPtr parse_term(const std::string& text) {
-  IExprPtr acc;
-  std::size_t i = 0;
-  int sign = 1;
-  while (i < text.size()) {
-    char c = text[i];
-    if (c == '+') { sign = 1; ++i; continue; }
-    if (c == '-') { sign = -1; ++i; continue; }
-    IExprPtr piece;
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < text.size() &&
-             std::isdigit(static_cast<unsigned char>(text[j])))
-        ++j;
-      piece = blk::ir::iconst(std::stol(text.substr(i, j - i)));
-      i = j;
-    } else if (std::isalpha(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < text.size() &&
-             (std::isalnum(static_cast<unsigned char>(text[j])) ||
-              text[j] == '_'))
-        ++j;
-      piece = blk::ir::ivar(text.substr(i, j - i));
-      i = j;
-    } else {
-      throw blk::Error(std::string("--assume: unexpected character '") + c +
-                       "'");
-    }
-    if (sign < 0) piece = blk::ir::isub(blk::ir::iconst(0), std::move(piece));
-    acc = acc ? blk::ir::iadd(std::move(acc), std::move(piece))
-              : std::move(piece);
-  }
-  if (!acc) throw blk::Error("--assume: empty expression");
-  return acc;
-}
-
-void add_assumption(blk::analysis::Assumptions& ctx, const std::string& raw) {
-  std::string fact;
-  for (char c : raw)
-    if (!std::isspace(static_cast<unsigned char>(c))) fact += c;
-  for (const char* op : {"<=", ">="}) {
-    auto pos = fact.find(op);
-    if (pos == std::string::npos) continue;
-    IExprPtr lhs = parse_term(fact.substr(0, pos));
-    IExprPtr rhs = parse_term(fact.substr(pos + 2));
-    if (op[0] == '<')
-      ctx.assert_le(lhs, rhs);
-    else
-      ctx.assert_ge(lhs, rhs);
-    return;
-  }
-  throw blk::Error("--assume: expected '<=' or '>=' in '" + raw + "'");
-}
 
 std::string read_all(std::istream& in) {
   std::ostringstream os;
@@ -110,7 +53,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       try {
-        add_assumption(ctx, argv[++i]);
+        blk::pm::add_fact(ctx, argv[++i]);
       } catch (const std::exception& e) {
         std::cerr << "blk-verify: " << e.what() << "\n";
         return 2;

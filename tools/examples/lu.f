@@ -1,0 +1,12 @@
+PARAMETER N
+REAL*8 A(N,N)
+DO K = 1, N-1
+  DO I = K+1, N
+    10: A(I,K) = A(I,K)/A(K,K)
+  ENDDO
+  DO J = K+1, N
+    DO I = K+1, N
+      20: A(I,J) = A(I,J) - A(I,K)*A(K,J)
+    ENDDO
+  ENDDO
+ENDDO

@@ -1,0 +1,24 @@
+PARAMETER N
+REAL*8 A(N,N)
+REAL*8 IMAX, TAU
+DO K = 1, N-1
+  IMAX = K
+  DO I = K+1, N
+    IF (ABS(A(I,K)) .GT. ABS(A(IMAX,K))) THEN
+      IMAX = I
+    ENDIF
+  ENDDO
+  DO J = 1, N
+    TAU = A(K,J)
+    25: A(K,J) = A(IMAX,J)
+    30: A(IMAX,J) = TAU
+  ENDDO
+  DO I = K+1, N
+    20: A(I,K) = A(I,K)/A(K,K)
+  ENDDO
+  DO J = K+1, N
+    DO I = K+1, N
+      10: A(I,J) = A(I,J) - A(I,K)*A(K,J)
+    ENDDO
+  ENDDO
+ENDDO
