@@ -81,6 +81,11 @@ inline std::string extract_json_path(int& argc, char** argv,
   return path;
 }
 
+/// Sentinel for "this benchmark did not run" (filtered out, or its name
+/// was misspelled).  fmt_time/fmt_speedup render it "n/a", so a partial
+/// run still prints a complete table instead of dying on a lookup.
+inline constexpr double kNotRun = -1.0;
+
 /// Console reporter that also records mean per-iteration real time (s)
 /// under each benchmark's full name ("BM_LuPoint/300").
 class CaptureReporter : public benchmark::ConsoleReporter {
@@ -96,10 +101,10 @@ class CaptureReporter : public benchmark::ConsoleReporter {
     ConsoleReporter::ReportRuns(runs);
   }
 
-  /// Time for a name, or -1 when the benchmark did not run (filtered out).
+  /// Time for a name, or kNotRun when the benchmark did not run.
   [[nodiscard]] double get(const std::string& name) const {
     auto it = seconds.find(name);
-    return it == seconds.end() ? -1.0 : it->second;
+    return it == seconds.end() ? kNotRun : it->second;
   }
 };
 

@@ -27,7 +27,9 @@ Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
   lines_.assign(cfg.num_sets() * cfg.assoc, Line{});
 }
 
-bool Cache::access(std::uint64_t addr) {
+bool Cache::access(std::uint64_t addr) { return access_ex(addr).hit; }
+
+Cache::AccessResult Cache::access_ex(std::uint64_t addr) {
   ++clock_;
   ++stats_.accesses;
   std::uint64_t block = addr >> set_shift_;
@@ -40,7 +42,7 @@ bool Cache::access(std::uint64_t addr) {
     if (line.valid && line.tag == block) {
       line.last_use = clock_;
       ++stats_.hits;
-      return true;
+      return {.hit = true};
     }
     if (!line.valid) {
       victim = &line;
@@ -49,10 +51,29 @@ bool Cache::access(std::uint64_t addr) {
     }
   }
   ++stats_.misses;
-  if (victim->valid) ++stats_.evictions;
+  AccessResult result{.hit = false};
+  if (victim->valid) {
+    ++stats_.evictions;
+    result.evicted = true;
+    result.victim_addr = victim->tag << set_shift_;
+  }
   victim->valid = true;
   victim->tag = block;
   victim->last_use = clock_;
+  return result;
+}
+
+bool Cache::invalidate(std::uint64_t addr) {
+  std::uint64_t block = addr >> set_shift_;
+  std::size_t set = static_cast<std::size_t>(block) & set_mask_;
+  Line* base = &lines_[set * cfg_.assoc];
+  for (std::size_t w = 0; w < cfg_.assoc; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == block) {
+      line.valid = false;
+      return true;
+    }
+  }
   return false;
 }
 
@@ -96,8 +117,15 @@ Hierarchy::Hierarchy(std::vector<CacheConfig> levels) {
 }
 
 std::size_t Hierarchy::access(std::uint64_t addr) {
-  for (std::size_t i = 0; i < levels_.size(); ++i)
-    if (levels_[i].access(addr)) return i;
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    Cache::AccessResult r = levels_[i].access_ex(addr);
+    // Inclusion: a block displaced from level i may no longer be cached
+    // in any level above it.
+    if (r.evicted)
+      for (std::size_t j = 0; j < i; ++j)
+        if (levels_[j].invalidate(r.victim_addr)) ++back_invalidations_;
+    if (r.hit) return i;
+  }
   return levels_.size();
 }
 
@@ -107,6 +135,7 @@ void Hierarchy::simulate(std::span<const interp::TraceRecord> recs) {
 
 void Hierarchy::reset() {
   for (auto& l : levels_) l.reset();
+  back_invalidations_ = 0;
 }
 
 double Hierarchy::amat(std::span<const double> latencies) const {
@@ -143,11 +172,15 @@ std::vector<CacheStats> simulate_hierarchy(const ir::Program& p,
 }
 
 std::string summary(const CacheConfig& cfg, const CacheStats& st) {
-  std::ostringstream os;
-  os << cfg.size_bytes / 1024 << "KB/" << cfg.line_bytes << "B/" << cfg.assoc
-     << "-way: " << st.accesses << " accesses, "
-     << static_cast<double>(st.miss_ratio() * 100.0) << "% miss";
-  return os.str();
+  // Fixed two-decimal percentage: default stream precision is locale- and
+  // magnitude-dependent, which made the string unstable across runs.
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "%zuKB/%zuB/%zu-way: %llu accesses, "
+                "%.2f%% miss",
+                cfg.size_bytes / 1024, cfg.line_bytes, cfg.assoc,
+                static_cast<unsigned long long>(st.accesses),
+                st.miss_ratio() * 100.0);
+  return buf;
 }
 
 }  // namespace blk::cachesim

@@ -51,6 +51,20 @@ class Cache {
   /// reads and writes are treated identically for residency.
   bool access(std::uint64_t addr);
 
+  /// What one access did: hit/miss plus the line it displaced, so a
+  /// hierarchy can enforce inclusion (a block evicted from a lower level
+  /// must also leave the levels above it).
+  struct AccessResult {
+    bool hit = false;
+    bool evicted = false;
+    std::uint64_t victim_addr = 0;  ///< line-aligned address displaced
+  };
+  AccessResult access_ex(std::uint64_t addr);
+
+  /// Drop `addr`'s line if resident (back-invalidation); returns true when
+  /// a line was actually dropped.  Not counted as a capacity eviction.
+  bool invalidate(std::uint64_t addr);
+
   /// Replay a whole trace batch (equivalent to calling access() per
   /// record, without per-access callback overhead).  Pairs with the VM's
   /// TraceBuffer: pass it as the buffer's flush sink to stream traces of
@@ -88,7 +102,12 @@ class Cache {
                                   std::uint64_t seed = 42);
 
 /// Multi-level hierarchy: an access that misses level i is looked up in
-/// level i+1 (inclusive contents, independent LRU state per level).
+/// level i+1.  Contents are kept *inclusive*: when a lower level evicts a
+/// block, every level above it is back-invalidated (the real mechanism on
+/// inclusive hierarchies, and the reason upper-level hit ratios degrade
+/// when a trace overflows lower-level sets).  As in hardware, an upper-
+/// level hit does not refresh the lower level's LRU state, so a block hot
+/// in L1 can still become L2's LRU victim — an "inclusion victim".
 class Hierarchy {
  public:
   explicit Hierarchy(std::vector<CacheConfig> levels);
@@ -96,6 +115,11 @@ class Hierarchy {
   /// Simulate one access; returns the level that hit (0-based), or the
   /// number of levels when it missed everywhere (memory).
   std::size_t access(std::uint64_t addr);
+
+  /// Lines dropped from upper levels to preserve inclusion.
+  [[nodiscard]] std::uint64_t back_invalidations() const {
+    return back_invalidations_;
+  }
 
   /// Bulk replay of a trace batch through every level.
   void simulate(std::span<const interp::TraceRecord> recs);
@@ -117,6 +141,7 @@ class Hierarchy {
 
  private:
   std::vector<Cache> levels_;
+  std::uint64_t back_invalidations_ = 0;
 };
 
 /// Like simulate() but through a hierarchy; returns per-level stats.

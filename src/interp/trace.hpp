@@ -56,6 +56,16 @@ class TraceBuffer {
 
   void clear() { recs_.clear(); }
 
+  /// Move the retained records out (the buffer is left empty and
+  /// reusable).  Lets a consumer hand a whole trace to another thread
+  /// without copying — the machine-model sweep replays per-candidate
+  /// traces on a simulator pool while the VM produces the next one.
+  [[nodiscard]] std::vector<TraceRecord> take_records() {
+    std::vector<TraceRecord> out;
+    out.swap(recs_);
+    return out;
+  }
+
   [[nodiscard]] std::span<const TraceRecord> records() const { return recs_; }
   [[nodiscard]] std::size_t size() const { return recs_.size(); }
   [[nodiscard]] bool empty() const { return recs_.empty(); }

@@ -5,14 +5,24 @@
 #include "ir/iexpr.hpp"
 #include "lang/machine.hpp"
 #include "lang/parser.hpp"
+#include "model/model.hpp"
 
 namespace blk::lang {
 
 /// Choose a blocking factor for every BLOCK DO in `cr` from the machine
 /// model and return the parameter bindings (BS_<var> -> value), ready to
-/// merge into the interpreter's parameter environment.
+/// merge into the interpreter's parameter environment.  Factors fixed in
+/// the source (BLOCK(n) DO) are passed through verbatim.
 [[nodiscard]] ir::Env choose_block_sizes(const CompileResult& cr,
                                          const MachineModel& machine);
+
+/// Analytic-model chooser: size each BLOCK DO's factor so the blocked
+/// working set fits the effective cache fraction of `machine` (§6, the
+/// same model selectblock uses).  Unbound parameters are probed at
+/// `probe` (0: sized to overflow L1).  BLOCK(n) DO factors pass through.
+[[nodiscard]] ir::Env choose_block_sizes(CompileResult& cr,
+                                         const model::MachineParams& machine,
+                                         long probe = 0);
 
 /// Lower in place: substitute each blocking-factor parameter by its chosen
 /// constant, yielding ordinary Fortran-level IR with literal block sizes.

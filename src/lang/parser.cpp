@@ -142,14 +142,23 @@ class Parser {
     if (is_ident("DO")) return parse_do(/*block=*/false);
     if (is_ident("BLOCK")) {
       advance();
-      return parse_do(/*block=*/true);
+      long factor = 0;
+      if (is(Tok::LParen)) {  // BLOCK(8) DO: explicit factor override
+        advance();
+        if (!is(Tok::Integer)) fail("expected integer blocking factor");
+        factor = std::stol(cur().text);
+        if (factor < 1) fail("blocking factor must be >= 1");
+        advance();
+        expect(Tok::RParen, ")");
+      }
+      return parse_do(/*block=*/true, factor);
     }
     if (is_ident("IN")) return parse_in_do();
     if (is_ident("IF")) return parse_if();
     return parse_assign();
   }
 
-  StmtPtr parse_do(bool block) {
+  StmtPtr parse_do(bool block, long factor = 0) {
     expect_ident("DO");
     if (!is(Tok::Ident)) fail("expected loop variable");
     std::string var = cur().text;
@@ -172,6 +181,7 @@ class Parser {
       std::string bs = "BS_" + var;
       res_.program.param(bs);
       res_.block_params[var] = bs;
+      if (factor > 0) res_.fixed_factors[bs] = factor;
       blocks_.push_back({.var = var, .ub = ub, .bs = bs});
       step = ivar(bs);
     }

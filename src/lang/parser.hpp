@@ -7,6 +7,7 @@
 // Statements:
 //   DO V = lb, ub [, step] ... ENDDO
 //   BLOCK DO V = lb, ub ... ENDDO              (§6 extension)
+//   BLOCK(8) DO V = lb, ub ... ENDDO           (explicit factor override)
 //   IN V DO VV [= lb, ub] ... ENDDO            (§6 extension)
 //   IF (expr .OP. expr) THEN ... [ELSE ...] ENDIF
 //   [label:] lvalue = expression
@@ -30,6 +31,9 @@ struct CompileResult {
   ir::Program program;
   /// BLOCK DO loop variable -> blocking-factor parameter name (BS_<var>).
   std::map<std::string, std::string> block_params;
+  /// Explicit factors from BLOCK(n) DO, keyed by the parameter name.  The
+  /// machine-model chooser honors these verbatim instead of modeling.
+  std::map<std::string, long> fixed_factors;
 };
 
 /// Parse and lower mini-Fortran source text.  Throws blk::Error with a

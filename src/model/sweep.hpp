@@ -1,0 +1,51 @@
+// Empirical refiner for the blocking-factor choice: run the *blocked*
+// program once per candidate KS on the bytecode VM (the program is
+// compiled exactly once — KS lives in a runtime scalar slot, so changing
+// the candidate is a store write, not a recompilation) and replay each
+// trace through per-worker cachesim instances on a thread pool.  The
+// candidate with the lowest L1 miss ratio (or AMAT, when per-level
+// latencies are supplied) wins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "ir/program.hpp"
+
+namespace blk::model {
+
+struct SweepOptions {
+  std::vector<long> candidates;   ///< ks values to measure, ascending
+  std::string ks_scalar = "KS";   ///< runtime scalar holding the factor
+  ir::Env probe_params;           ///< parameter bindings (without ks)
+  std::vector<cachesim::CacheConfig> levels = {cachesim::CacheConfig{}};
+  std::vector<double> latencies;  ///< num_levels+1 entries switch to AMAT
+  unsigned workers = 0;           ///< 0: hardware concurrency (capped)
+  std::uint64_t seed = 42;
+  std::size_t max_in_flight = 3;  ///< traces buffered ahead of the workers
+};
+
+struct CandidateResult {
+  long ks = 0;
+  std::vector<cachesim::CacheStats> levels;  ///< one per hierarchy level
+  double metric = 0.0;
+  std::uint64_t trace_len = 0;
+};
+
+struct SweepResult {
+  std::vector<CandidateResult> rows;  ///< in candidate order
+  std::size_t best_index = 0;         ///< argmin of metric
+  std::string metric_name;            ///< "miss_ratio" or "amat"
+};
+
+/// Measure every candidate against `blocked` (a program whose blocking
+/// factor is the declared runtime scalar `ks_scalar`).  One ExecEngine is
+/// compiled up front and shared across the whole sweep; simulation runs on
+/// `workers` threads with per-worker Cache/Hierarchy state.  Throws
+/// blk::Error on an empty candidate list or an undeclared ks scalar.
+[[nodiscard]] SweepResult sweep_block_sizes(const ir::Program& blocked,
+                                            const SweepOptions& opt);
+
+}  // namespace blk::model

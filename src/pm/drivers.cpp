@@ -4,10 +4,14 @@
 // behavior).
 #include "pm/drivers.hpp"
 
+#include <algorithm>
+#include <set>
 #include <utility>
 
 #include "ir/error.hpp"
+#include "model/sweep.hpp"
 #include "transform/ifinspect.hpp"
+#include "transform/instrument.hpp"
 #include "transform/interchange.hpp"
 #include "transform/pattern.hpp"
 #include "transform/scalarrepl.hpp"
@@ -122,6 +126,150 @@ int step_register_block(PipelineContext& ctx, Loop& loop, long factor) {
                                           ctx.hints);
   ctx.scalar_groups += replaced;
   return replaced;
+}
+
+namespace {
+
+/// Pre-order list of every loop in `body` (the clone-correspondence key:
+/// clone() preserves traversal order, so the i-th loop of the original is
+/// the i-th loop of the clone).
+std::vector<Loop*> all_loops(StmtList& body) {
+  std::vector<Loop*> out;
+  for_each_stmt(body, [&](Stmt& s) {
+    if (s.kind() == SKind::Loop) out.push_back(&s.as_loop());
+  });
+  return out;
+}
+
+}  // namespace
+
+model::BlockChoice& step_selectblock(PipelineContext& ctx,
+                                     const SelectBlockOptions& opt) {
+  model::MachineParams machine;
+  if (!ctx.machine.empty()) machine.levels = ctx.machine;
+  machine.latencies = ctx.latencies;
+  machine.effective_fraction =
+      static_cast<double>(opt.fraction_pct) / 100.0;
+
+  // Probe size: the arrays must overflow L1 or every candidate looks
+  // equally good; 2x capacity in one N*N array is comfortably past it.
+  long probe = opt.probe;
+  if (probe <= 0) {
+    const double target =
+        2.0 * static_cast<double>(machine.l1().size_bytes) /
+        static_cast<double>(machine.element_bytes);
+    probe = 16;
+    while (static_cast<double>(probe) * static_cast<double>(probe) < target &&
+           probe < 512)
+      probe += 16;
+  }
+
+  ir::Env probe_env;
+  for (const std::string& p : ctx.prog.params()) {
+    if (p == opt.ks_name) continue;
+    auto it = ctx.resolved.find(p);
+    probe_env[p] = it != ctx.resolved.end() ? it->second : probe;
+  }
+
+  Loop& focus = ctx.target();
+  model::AnalyticModel am = model::build_analytic_model(
+      ctx.prog.body, focus, opt.ks_name, probe_env, machine);
+
+  model::BlockChoice choice;
+  choice.ks_name = opt.ks_name;
+  choice.probe = probe;
+  choice.budget_bytes = am.budget_bytes;
+  choice.analytic_ks = am.largest_fitting(2, std::max(2L, am.trip));
+  choice.analytic_footprint_bytes = am.footprint_bytes(choice.analytic_ks);
+  choice.candidates = am.candidates();
+  choice.ks = choice.analytic_ks;
+
+  // The full-block view (focus + ks - 1 <= focus.ub) steers the later
+  // split exactly as the hand-supplied --assume hints did; splitting
+  // itself stays unconditionally safe on ragged blocks.
+  ctx.hints.assert_le(isub(iadd(ivar(focus.var), ivar(opt.ks_name)),
+                           iconst(1)),
+                      focus.ub);
+
+  if (opt.sweep && am.trip >= 4) {
+    // Block a *clone* and measure it: observers muted (the verifier must
+    // not audit throwaway work) and analyses private to the clone.
+    ir::Program clone = ctx.prog.clone();
+    std::vector<Loop*> orig_loops = all_loops(ctx.prog.body);
+    std::vector<Loop*> clone_loops = all_loops(clone.body);
+    auto fit = std::find(orig_loops.begin(), orig_loops.end(), &focus);
+    Loop* clone_focus =
+        fit == orig_loops.end()
+            ? nullptr
+            : clone_loops[static_cast<std::size_t>(fit - orig_loops.begin())];
+    try {
+      if (!clone_focus) throw Error("selectblock: focus not in program");
+      transform::ObserverMute mute;
+      PipelineContext cctx(clone, ctx.hints);
+      cctx.commutativity = ctx.commutativity;
+      cctx.focus = clone_focus;
+      analysis::ScopedAnalysisManager sam(cctx.am);
+      AutoBlockResult blocked = auto_block_impl(cctx, ivar(opt.ks_name));
+      if (!blocked.blocked)
+        throw Error("selectblock: the probe clone did not block");
+
+      // The factor becomes a runtime scalar of the clone: the sweep's one
+      // ExecEngine reads it per run instead of recompiling per candidate.
+      clone.scalar(opt.ks_name);
+
+      model::SweepOptions sopt;
+      std::set<long> ks_set(choice.candidates.begin(),
+                            choice.candidates.end());
+      if (opt.grid)
+        for (long k : {4L, 6L, 8L, 12L, 16L, 24L, 32L, 48L, 64L, 96L, 128L})
+          if (k >= 2 && k <= am.trip) ks_set.insert(k);
+      sopt.candidates.assign(ks_set.begin(), ks_set.end());
+      sopt.ks_scalar = opt.ks_name;
+      sopt.probe_params = probe_env;
+      sopt.levels = machine.levels;
+      sopt.latencies = machine.latencies;
+      sopt.workers = opt.workers;
+      sopt.seed = opt.seed;
+      model::SweepResult sw = model::sweep_block_sizes(clone, sopt);
+
+      choice.swept = true;
+      choice.metric_name = sw.metric_name;
+      std::size_t chosen_row = sw.rows.size();
+      for (std::size_t i = 0; i < sw.rows.size(); ++i) {
+        const model::CandidateResult& r = sw.rows[i];
+        model::BlockChoice::Row row;
+        row.ks = r.ks;
+        row.metric = r.metric;
+        row.miss_ratio = r.levels.empty() ? 0.0 : r.levels[0].miss_ratio();
+        row.accesses = r.levels.empty() ? 0 : r.levels[0].accesses;
+        row.misses = r.levels.empty() ? 0 : r.levels[0].misses;
+        row.predicted_bytes = am.footprint_bytes(r.ks);
+        row.from_model = std::find(choice.candidates.begin(),
+                                   choice.candidates.end(),
+                                   r.ks) != choice.candidates.end();
+        if (row.from_model &&
+            (chosen_row == sw.rows.size() ||
+             row.metric < choice.table[chosen_row].metric))
+          chosen_row = choice.table.size();
+        choice.table.push_back(row);
+      }
+      if (chosen_row < choice.table.size()) {
+        choice.ks = choice.table[chosen_row].ks;
+        choice.chosen_metric = choice.table[chosen_row].metric;
+      }
+      choice.best_swept_ks = sw.rows[sw.best_index].ks;
+      choice.best_swept_metric = sw.rows[sw.best_index].metric;
+    } catch (const Error& e) {
+      choice.note = std::string("sweep skipped: ") + e.what();
+    }
+  } else if (opt.sweep) {
+    choice.note = "sweep skipped: focus trip count too small at probe";
+  }
+
+  ctx.resolved[opt.ks_name] = choice.ks;
+  if (!ctx.default_block) ctx.default_block = ivar(opt.ks_name);
+  ctx.block_choice = std::move(choice);
+  return *ctx.block_choice;
 }
 
 AutoBlockResult auto_block_impl(PipelineContext& ctx, IExprPtr block) {

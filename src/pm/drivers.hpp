@@ -37,6 +37,28 @@ void step_interchange(PipelineContext& ctx);
 /// Returns the number of scalar groups replaced.
 int step_register_block(PipelineContext& ctx, ir::Loop& loop, long factor);
 
+/// §6: choose the blocking factor from the machine model.
+struct SelectBlockOptions {
+  std::string ks_name = "KS";
+  long probe = 0;          ///< parameter probe size (0: derived from L1)
+  long fraction_pct = 75;  ///< effective cache fraction, percent
+  bool sweep = true;       ///< refine the analytic pick empirically
+  bool grid = false;       ///< also sweep a coverage grid for evidence
+  unsigned workers = 0;    ///< simulator threads (0: auto)
+  std::uint64_t seed = 42;
+};
+
+/// Build the analytic model of ctx.target(), optionally refine it by
+/// sweeping a *blocked clone* of the program (the clone is blocked under
+/// an ObserverMute with a private AnalysisManager, so the caller's
+/// verification observers and caches never see it; one ExecEngine serves
+/// every candidate).  Leaves the decision in ctx.block_choice, binds
+/// ctx.resolved[ks_name], defaults ctx.default_block to the symbolic
+/// name, and adds the full-block hint  focus + ks - 1 <= focus.ub  so a
+/// following split finds the §5.1 structure without caller --assume.
+model::BlockChoice& step_selectblock(PipelineContext& ctx,
+                                     const SelectBlockOptions& opt);
+
 // Composite drivers, operating on ctx.prog / ctx.focus / ctx.hints.
 transform::AutoBlockResult auto_block_impl(PipelineContext& ctx,
                                            ir::IExprPtr block);

@@ -25,7 +25,9 @@
 
 #include "analysis/assume.hpp"
 #include "analysis/manager.hpp"
+#include "cachesim/cache.hpp"
 #include "ir/program.hpp"
+#include "model/model.hpp"
 #include "transform/split.hpp"
 
 namespace blk::pm {
@@ -115,6 +117,18 @@ struct PipelineContext {
   ir::Loop* inspector = nullptr;
   ir::Loop* range_loop = nullptr;
   ir::Loop* executor = nullptr;
+
+  // Machine-model state (§6 / the selectblock pass).
+  /// Cache hierarchy to model; empty means the default L1 (64K/64B/4).
+  std::vector<cachesim::CacheConfig> machine;
+  /// Per-level + memory hit latencies; arity num_levels+1 switches the
+  /// sweep metric from L1 miss ratio to AMAT.
+  std::vector<double> latencies;
+  /// Values chosen for symbolic parameters by passes (KS -> 24); callers
+  /// merge these into interpretation/check environments.
+  ir::Env resolved;
+  /// The full decision record of the last selectblock run.
+  std::optional<model::BlockChoice> block_choice;
 
   /// Per-stage reporting: a stage that decides to no-op (e.g. distribute
   /// after a not-distributable split) sets these; the runner resets them

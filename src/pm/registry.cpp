@@ -228,6 +228,48 @@ Registry::Registry() {
          transform::simplify_all_bounds(ctx.prog.body, ctx.hints);
        }});
 
+  add({.name = "selectblock",
+       .doc = "choose the blocking factor from the machine model (§6): "
+              "analytic working-set candidates refined by a cache-"
+              "simulator trace sweep; resolves the symbolic factor and "
+              "adds the full-block hint for later stages",
+       .composite = true,
+       .options = {{.name = "name", .kind = OptKind::Str,
+                    .doc = "symbolic factor name (default KS)"},
+                   {.name = "probe", .kind = OptKind::Int,
+                    .doc = "parameter probe size (default: sized to "
+                           "overflow L1)"},
+                   {.name = "fraction", .kind = OptKind::Int,
+                    .doc = "effective cache fraction in percent "
+                           "(default 75)"},
+                   {.name = "nosweep", .kind = OptKind::Flag,
+                    .doc = "analytic choice only, no empirical sweep"},
+                   {.name = "grid", .kind = OptKind::Flag,
+                    .doc = "also sweep a coverage grid (tolerance "
+                           "evidence for --auto-b)"},
+                   {.name = "workers", .kind = OptKind::Int,
+                    .doc = "simulator threads (default: auto)"},
+                   {.name = "seed", .kind = OptKind::Int,
+                    .doc = "input seed for the sweep (default 42)"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         detail::SelectBlockOptions opt;
+         opt.ks_name = inv.str_or("name", "KS");
+         opt.probe = inv.int_or("probe", 0);
+         opt.fraction_pct = inv.int_or("fraction", 75);
+         opt.sweep = !inv.flag("nosweep");
+         opt.grid = inv.flag("grid");
+         opt.workers = static_cast<unsigned>(inv.int_or("workers", 0));
+         opt.seed = static_cast<std::uint64_t>(inv.int_or("seed", 42));
+         const model::BlockChoice& c = detail::step_selectblock(ctx, opt);
+         ctx.stage_note =
+             opt.ks_name + "=" + std::to_string(c.ks) + " (analytic " +
+             std::to_string(c.analytic_ks) +
+             (c.swept ? ", swept " + std::to_string(c.table.size()) +
+                            " candidates"
+                      : ", no sweep") +
+             ")";
+       }});
+
   // --- composite drivers ---------------------------------------------------
 
   add({.name = "autoblock",

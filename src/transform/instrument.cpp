@@ -13,7 +13,14 @@ namespace {
 // VerifiedPipeline per seed from a thread pool and must not see (or
 // clobber) each other's observers.
 thread_local std::vector<PassObserver*> t_observers;
+// Nestable mute count: while non-zero, new PassScopes skip observers.
+thread_local int t_mute = 0;
 }  // namespace
+
+ObserverMute::ObserverMute() { ++t_mute; }
+ObserverMute::~ObserverMute() { --t_mute; }
+
+bool pass_observers_muted() { return t_mute > 0; }
 
 PassObserver* set_pass_observer(PassObserver* obs) {
   PassObserver* prev = t_observers.empty() ? nullptr : t_observers.back();
@@ -41,7 +48,9 @@ PassScope::PassScope(std::string_view name, ir::StmtList& root)
     : name_(name),
       root_(root),
       uncaught_(std::uncaught_exceptions()),
-      depth_(t_observers.size()) {
+      // A muted scope captures depth 0: no before callbacks now, no after
+      // callbacks in the destructor — but notify_pass_end still fires.
+      depth_(t_mute > 0 ? 0 : t_observers.size()) {
   for (std::size_t i = 0; i < depth_; ++i)
     t_observers[i]->before_pass(name_, root_);
 }

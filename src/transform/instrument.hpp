@@ -56,6 +56,23 @@ PassObserver* set_pass_observer(PassObserver* obs);
 /// Number of observers currently stacked on this thread.
 [[nodiscard]] std::size_t pass_observer_depth();
 
+/// RAII suppression of this thread's observers: PassScopes constructed
+/// while a mute is live skip the before/after callbacks (analysis-cache
+/// invalidation still runs — it is correctness, not observation).  Used by
+/// work on *cloned* programs (the machine model blocks a throwaway copy to
+/// measure it) that must not be snapshot-verified against the real one.
+/// Nests: observers stay muted until the outermost mute dies.
+class ObserverMute {
+ public:
+  ObserverMute();
+  ~ObserverMute();
+  ObserverMute(const ObserverMute&) = delete;
+  ObserverMute& operator=(const ObserverMute&) = delete;
+};
+
+/// Whether a mute is live on this thread.
+[[nodiscard]] bool pass_observers_muted();
+
 /// RAII marker placed at the top of each transformation entry point.
 /// The observer stack is captured at construction, so observers installed
 /// mid-pass only see subsequently started passes.

@@ -1,0 +1,42 @@
+// The benchmark plumbing's missing-row contract: a benchmark name that
+// never ran (filtered out, or misspelled) yields the kNotRun sentinel and
+// renders "n/a" in the paper-style tables instead of crashing or printing
+// a garbage negative time.
+#include <gtest/gtest.h>
+
+#include "bench/benchutil.hpp"
+
+namespace blk::bench {
+namespace {
+
+TEST(CaptureReporter, MissingNameReturnsSentinel) {
+  CaptureReporter rep;
+  EXPECT_EQ(rep.get("BM_Nonexistent/500"), kNotRun);
+  rep.seconds["BM_Real/10"] = 0.25;
+  EXPECT_EQ(rep.get("BM_Real/10"), 0.25);
+  EXPECT_EQ(rep.get("BM_Real/11"), kNotRun);
+}
+
+TEST(FmtTime, RendersSentinelAsNa) {
+  EXPECT_EQ(fmt_time(kNotRun), "n/a");
+  EXPECT_EQ(fmt_time(-0.001), "n/a");  // any negative is "did not run"
+  EXPECT_EQ(fmt_time(2.551), "2.55s");
+  EXPECT_EQ(fmt_time(0.0025), "2.500ms");
+}
+
+TEST(FmtSpeedup, SentinelOnEitherSideIsNa) {
+  EXPECT_EQ(fmt_speedup(kNotRun, 1.0), "n/a");
+  EXPECT_EQ(fmt_speedup(1.0, kNotRun), "n/a");
+  EXPECT_EQ(fmt_speedup(1.0, 0.0), "n/a");  // division guard
+  EXPECT_EQ(fmt_speedup(2.0, 1.0), "2.00");
+}
+
+TEST(JsonWriter, DisabledWriterRefusesToWrite) {
+  JsonWriter w("");
+  EXPECT_FALSE(w.enabled());
+  w.row("BM_X", 1.0);
+  EXPECT_FALSE(w.write());
+}
+
+}  // namespace
+}  // namespace blk::bench

@@ -204,6 +204,108 @@ TEST(Hierarchy, ResetRestoresColdState) {
   EXPECT_EQ(h.stats(0).accesses, 1u);
 }
 
+TEST(Cache, InvalidWayPreferredOverLruVictim) {
+  // With a free (invalid) way in the set, a fill must take it rather than
+  // evict the LRU line.
+  Cache c({.size_bytes = 128, .line_bytes = 64, .assoc = 2});  // 1 set
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(64));   // way 1 was free: no eviction
+  EXPECT_EQ(c.stats().evictions, 0u);
+  EXPECT_TRUE(c.access(0));     // both lines resident
+  EXPECT_TRUE(c.access(64));
+}
+
+TEST(Cache, AccessExReportsVictim) {
+  Cache c({.size_bytes = 128, .line_bytes = 64, .assoc = 2});  // 1 set
+  EXPECT_FALSE(c.access_ex(0).evicted);     // cold fill, free way
+  EXPECT_FALSE(c.access_ex(128).evicted);   // cold fill, free way
+  auto r = c.access_ex(256);                // set full: evicts LRU (addr 0)
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.evicted);
+  EXPECT_EQ(r.victim_addr, 0u);
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(Cache, InvalidateIsNotACapacityEviction) {
+  Cache c({.size_bytes = 128, .line_bytes = 64, .assoc = 2});
+  (void)c.access(0);
+  EXPECT_TRUE(c.invalidate(0));
+  EXPECT_FALSE(c.invalidate(0));   // already gone
+  EXPECT_FALSE(c.invalidate(64));  // never present
+  EXPECT_EQ(c.stats().evictions, 0u);
+  EXPECT_FALSE(c.access(0));       // refill is a miss
+}
+
+TEST(Cache, DirectMappedConflictsAlways) {
+  // assoc=1: two lines mapping to the same set ping-pong forever.
+  Cache c({.size_bytes = 256, .line_bytes = 64, .assoc = 1});  // 4 sets
+  const std::uint64_t stride = 64 * 4;  // same set
+  for (int rep = 0; rep < 8; ++rep) {
+    EXPECT_FALSE(c.access(0));
+    EXPECT_FALSE(c.access(stride));
+  }
+  EXPECT_EQ(c.stats().hits, 0u);
+}
+
+TEST(Cache, FullyAssociativeHoldsWholeCapacity) {
+  // One set holding assoc lines: any assoc-sized working set is conflict-
+  // free regardless of address spacing.
+  Cache c({.size_bytes = 256, .line_bytes = 64, .assoc = 4});  // 1 set
+  const std::uint64_t addrs[] = {0, 64, 4096, 1 << 20};
+  for (std::uint64_t a : addrs) EXPECT_FALSE(c.access(a));
+  for (std::uint64_t a : addrs) EXPECT_TRUE(c.access(a));
+  EXPECT_EQ(c.stats().evictions, 0u);
+}
+
+TEST(Cache, SummaryPinsFixedPrecision) {
+  // The satellite bug: default stream precision made the percentage
+  // locale/magnitude dependent.  Pin the exact fixed-precision rendering.
+  CacheConfig cfg{.size_bytes = 64 * 1024, .line_bytes = 64, .assoc = 4};
+  CacheStats st{.accesses = 16, .hits = 14, .misses = 2, .evictions = 0};
+  EXPECT_EQ(summary(cfg, st), "64KB/64B/4-way: 16 accesses, 12.50% miss");
+  CacheStats third{.accesses = 3, .hits = 2, .misses = 1, .evictions = 0};
+  EXPECT_EQ(summary(cfg, third), "64KB/64B/4-way: 3 accesses, 33.33% miss");
+}
+
+TEST(Hierarchy, BackInvalidatesUpperLevelsOnLowerEviction) {
+  // The inclusion regression: L1 = 1 set x 2 ways, L2 = 2 sets x 1 way.
+  // Lines 0 and 128 both live in L2 set 0, so filling 128 evicts 0 from
+  // L2 — an inclusive hierarchy must then kick 0 out of L1 too.  The old
+  // (buggy) code left it in L1 and the third access hit there.
+  Hierarchy h({{.size_bytes = 128, .line_bytes = 64, .assoc = 2},
+               {.size_bytes = 128, .line_bytes = 64, .assoc = 1}});
+  EXPECT_EQ(h.access(0), 2u);    // cold
+  EXPECT_EQ(h.access(128), 2u);  // evicts 0 from L2 set 0 -> purge L1
+  EXPECT_EQ(h.back_invalidations(), 1u);
+  EXPECT_EQ(h.access(0), 2u)
+      << "line 0 must be gone from L1 once L2 dropped it (inclusion)";
+}
+
+TEST(Hierarchy, L1HitsDoNotRefreshL2Lru) {
+  // Inclusion victim: a line hot in L1 is invisible to L2's LRU, so L2
+  // may age it out — and the back-invalidation must still reach L1.
+  Hierarchy h({{.size_bytes = 128, .line_bytes = 64, .assoc = 2},
+               {.size_bytes = 256, .line_bytes = 64, .assoc = 2}});
+  (void)h.access(0);            // L1 {0}; L2 set0 {0}
+  (void)h.access(256);          // L1 {0,256}; L2 set0 {0,256}, 0 is LRU
+  EXPECT_EQ(h.access(0), 0u);   // L1 hit: L2 never sees it
+  (void)h.access(512);          // L2 set0 full: victim is 0 (still LRU)
+  EXPECT_GE(h.back_invalidations(), 1u);
+  EXPECT_EQ(h.access(0), 2u)
+      << "0 was the L2 victim despite its L1 hits; inclusion purges it";
+}
+
+TEST(Hierarchy, ResetClearsBackInvalidations) {
+  Hierarchy h({{.size_bytes = 128, .line_bytes = 64, .assoc = 2},
+               {.size_bytes = 128, .line_bytes = 64, .assoc = 1}});
+  (void)h.access(0);
+  (void)h.access(128);
+  ASSERT_GE(h.back_invalidations(), 1u);
+  h.reset();
+  EXPECT_EQ(h.back_invalidations(), 0u);
+  EXPECT_EQ(h.access(0), 2u);  // cold again
+}
+
 TEST(Hierarchy, BlockedLuLowersAmat) {
   Program point = blk::kernels::lu_point_ir();
   Program blocked = point.clone();

@@ -191,6 +191,56 @@ TEST(BlockDo, MachineModelChoosesFactor) {
   EXPECT_LT(choose_block_sizes(cr, tiny).at("BS_K"), 32);
 }
 
+/// kBlockLuSource with an explicit BLOCK(8) factor override.
+std::string fixed_factor_source() {
+  std::string src = kBlockLuSource;
+  src.replace(src.find("BLOCK DO"), 8, "BLOCK(8) DO");
+  return src;
+}
+
+TEST(BlockDo, ExplicitFactorIsRecorded) {
+  auto cr = compile(fixed_factor_source());
+  ASSERT_EQ(cr.block_params.size(), 1u);
+  ASSERT_TRUE(cr.fixed_factors.contains("BS_K"));
+  EXPECT_EQ(cr.fixed_factors.at("BS_K"), 8);
+  // The lowering is unchanged: BS_K stays symbolic until bound.
+  EXPECT_EQ(to_string(cr.program.body[0]->as_loop().step), "BS_K");
+}
+
+TEST(BlockDo, ExplicitFactorOverridesBothChoosers) {
+  auto cr = compile(fixed_factor_source());
+  EXPECT_EQ(choose_block_sizes(cr, MachineModel{}).at("BS_K"), 8);
+  model::MachineParams machine;
+  EXPECT_EQ(choose_block_sizes(cr, machine).at("BS_K"), 8);
+}
+
+TEST(BlockDo, RejectsBadExplicitFactor) {
+  std::string src = kBlockLuSource;
+  src.replace(src.find("BLOCK DO"), 8, "BLOCK(0) DO");
+  EXPECT_THROW((void)compile(src), blk::Error);
+  src = kBlockLuSource;
+  src.replace(src.find("BLOCK DO"), 8, "BLOCK(X) DO");
+  EXPECT_THROW((void)compile(src), blk::Error);
+}
+
+TEST(BlockDo, AnalyticModelChoosesFactorFromCacheSize) {
+  auto cr = compile(kBlockLuSource);
+  model::MachineParams big;
+  big.levels = {model::parse_cache_config("64K/64B/4")};
+  model::MachineParams tiny;
+  tiny.levels = {model::parse_cache_config("4K/64B/2")};
+  long bs_big = choose_block_sizes(cr, big, /*probe=*/96).at("BS_K");
+  long bs_tiny = choose_block_sizes(cr, tiny, /*probe=*/96).at("BS_K");
+  EXPECT_GE(bs_big, 2);
+  EXPECT_GE(bs_tiny, 2);
+  EXPECT_GT(bs_big, bs_tiny) << "a bigger cache affords a bigger block";
+  // The chosen factor yields a program that still matches point LU.
+  bind_block_sizes(cr, {{"BS_K", bs_tiny}});
+  Program point = blk::kernels::lu_point_ir();
+  EXPECT_EQ(0.0, blk::test::run_and_diff(point, cr.program, {{"N", 22}}, 81,
+                                         {{"A", 22.0}}));
+}
+
 TEST(BlockDo, BindBlockSizesSubstitutesConstants) {
   auto cr = compile(kBlockLuSource);
   bind_block_sizes(cr, {{"BS_K", 16}});

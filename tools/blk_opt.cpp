@@ -7,8 +7,30 @@
 //   blk-opt -p "stripmine(b=BS); split; distribute(commutativity); interchange"
 //           --assume 'K+BS-1<=N-1' --check N=24,BS=5 lu_pivot.f
 //
+// Automatic blocking-factor selection (§6):
+//
+//   blk-opt --auto-b [--cache 64K/64B/4 [--cache 4M/64B/8]] lu.f
+//
+// runs "selectblock(grid); autoblock(b=KS)": the machine model picks KS
+// (analytic working-set candidates refined by a cache-simulator sweep),
+// prints the model-vs-sweep evidence, and exits 1 when the chosen KS's
+// metric is not within --tolerance of the swept optimum.
+//
 // Options:
-//   -p, --pipeline SPEC  the pass pipeline (required; see --print-registry)
+//   -p, --pipeline SPEC  the pass pipeline (required unless --auto-b;
+//                        see --print-registry)
+//   --auto-b             choose the blocking factor automatically; without
+//                        -p, runs "selectblock(grid); autoblock(b=KS)" and
+//                        enforces --tolerance against the swept optimum
+//   --cache GEOM         cache level SIZE/LINE/ASSOC, e.g. 64K/64B/4
+//                        (repeatable, L1 first; default one 64K/64B/4 L1)
+//   --latency LIST       comma-separated per-level + memory hit latencies
+//                        (cycles); arity num_levels+1 ranks by AMAT
+//   --probe N            parameter probe size for the default --auto-b
+//                        pipeline (default: sized to overflow L1)
+//   --tolerance PCT      --auto-b acceptance band in percent (default 10)
+//   --model_json PATH    write the BlockChoice record (analytic prediction
+//                        plus measured sweep) as JSON
 //   --assume FACT        add a symbolic fact for the analyses (repeatable)
 //   --check BINDINGS     run the original and transformed programs on the
 //                        bytecode VM with the given parameter bindings
@@ -35,6 +57,7 @@
 #include "ir/error.hpp"
 #include "ir/printer.hpp"
 #include "lang/parser.hpp"
+#include "model/model.hpp"
 #include "pm/runner.hpp"
 #include "pm/spec.hpp"
 #include "verify/pipeline.hpp"
@@ -143,6 +166,12 @@ int main(int argc, char** argv) {
   blk::analysis::Assumptions hints;
   bool verify = true;
   bool quiet = false;
+  bool auto_b = false;
+  std::vector<blk::cachesim::CacheConfig> machine;
+  std::vector<double> latencies;
+  long probe = 0;
+  double tolerance = 0.10;
+  std::string model_json_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -164,6 +193,22 @@ int main(int argc, char** argv) {
         golden_path = need_value("--golden");
       } else if (arg == "--bench_json") {
         json_path = need_value("--bench_json");
+      } else if (arg == "--auto-b") {
+        auto_b = true;
+      } else if (arg == "--cache") {
+        machine.push_back(
+            blk::model::parse_cache_config(need_value("--cache")));
+      } else if (arg == "--latency") {
+        std::istringstream is(need_value("--latency"));
+        std::string item;
+        while (std::getline(is, item, ','))
+          latencies.push_back(std::stod(item));
+      } else if (arg == "--probe") {
+        probe = std::stol(need_value("--probe"));
+      } else if (arg == "--tolerance") {
+        tolerance = std::stod(need_value("--tolerance")) / 100.0;
+      } else if (arg == "--model_json") {
+        model_json_path = need_value("--model_json");
       } else if (arg == "--no-verify") {
         verify = false;
       } else if (arg == "--quiet") {
@@ -176,6 +221,10 @@ int main(int argc, char** argv) {
                      "[--check N=24,BS=5]... [--golden FILE]\n"
                      "               [--bench_json PATH] [--no-verify] "
                      "[--quiet] [file.f]\n"
+                     "       blk-opt --auto-b [--cache SIZE/LINE/ASSOC]... "
+                     "[--latency L1,..,MEM]\n"
+                     "               [--probe N] [--tolerance PCT] "
+                     "[--model_json PATH] [file.f]\n"
                      "       blk-opt --print-registry\n";
         return 0;
       } else if (arg.size() > 1 && arg[0] == '-') {
@@ -194,8 +243,15 @@ int main(int argc, char** argv) {
     }
   }
   if (spec.empty()) {
-    std::cerr << "blk-opt: no pipeline (-p SPEC; see --print-registry)\n";
-    return 2;
+    if (!auto_b) {
+      std::cerr << "blk-opt: no pipeline (-p SPEC or --auto-b; see "
+                   "--print-registry)\n";
+      return 2;
+    }
+    // The canonical §6 pipeline: model-chosen KS through the §5.1 driver.
+    spec = "selectblock(grid";
+    if (probe > 0) spec += ", probe=" + std::to_string(probe);
+    spec += "); autoblock(b=KS)";
   }
   if (file.empty()) file = "-";
 
@@ -225,6 +281,8 @@ int main(int argc, char** argv) {
   blk::ir::Program original = prog.clone();
 
   blk::pm::PipelineContext ctx(prog, hints);
+  ctx.machine = machine;
+  ctx.latencies = latencies;
   blk::pm::RunReport report;
   try {
     if (verify) {
@@ -253,10 +311,38 @@ int main(int argc, char** argv) {
   }
 
   int status = 0;
+  if (ctx.block_choice) {
+    const blk::model::BlockChoice& choice = *ctx.block_choice;
+    if (!quiet) std::cerr << choice.to_string();
+    if (!model_json_path.empty()) {
+      std::ofstream out(model_json_path);
+      if (!out) {
+        std::cerr << "blk-opt: cannot write " << model_json_path << "\n";
+        return 2;
+      }
+      out << choice.to_json();
+    }
+    if (auto_b && choice.swept && !choice.within_tolerance(tolerance)) {
+      std::cerr << "blk-opt: chosen KS=" << choice.ks << " ("
+                << choice.metric_name << " " << choice.chosen_metric
+                << ") misses the swept optimum KS=" << choice.best_swept_ks
+                << " (" << choice.best_swept_metric << ") by more than "
+                << tolerance * 100.0 << "%\n";
+      status = 1;
+    }
+  } else if (auto_b) {
+    std::cerr << "blk-opt: --auto-b pipeline produced no block choice\n";
+    status = 1;
+  }
+
   for (const blk::ir::Env& env : checks) {
+    // Symbolic factors the pipeline resolved (e.g. KS from selectblock)
+    // back the user's bindings; explicit NAME=INT on the command line wins.
+    blk::ir::Env full = env;
+    full.insert(ctx.resolved.begin(), ctx.resolved.end());
     double diff = 0.0;
     try {
-      diff = run_and_diff(original, prog, env);
+      diff = run_and_diff(original, prog, full);
     } catch (const std::exception& e) {
       std::cerr << "blk-opt: --check failed to run: " << e.what() << "\n";
       status = 1;
