@@ -9,14 +9,65 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
+
+// Compile flags of the benchmark binary, stamped in by bench/CMakeLists.txt
+// so the JSON reports say how the numbers were produced.
+#ifndef BLK_BENCH_FLAGS
+#define BLK_BENCH_FLAGS ""
+#endif
 
 namespace blk::bench {
 
-/// Machine-readable result sink, opt-in via `--bench_json=<path>`.  Rows
-/// are emitted as a JSON array of {benchmark, seconds, speedup_vs_baseline}
-/// objects; speedup is null for baseline rows.  CI uploads these files as
-/// artifacts so perf history survives the run.
+/// What produced the numbers: every --bench_json report embeds this so a
+/// result file is interpretable without the CI log it came from.
+struct HostInfo {
+  std::string compiler;  ///< e.g. "gcc 12.2.0"
+  std::string flags;     ///< benchmark binary's compile flags
+  std::string cpu;       ///< /proc/cpuinfo model name (or "unknown")
+  unsigned cores = 0;    ///< std::thread::hardware_concurrency()
+};
+
+[[nodiscard]] inline HostInfo host_info() {
+  HostInfo h;
+#if defined(__clang__)
+  h.compiler = std::string("clang ") + __VERSION__;
+#elif defined(__GNUC__)
+  h.compiler = std::string("gcc ") + __VERSION__;
+#else
+  h.compiler = "unknown";
+#endif
+  h.flags = BLK_BENCH_FLAGS;
+  h.cpu = "unknown";
+  if (std::FILE* f = std::fopen("/proc/cpuinfo", "r")) {
+    char line[512];
+    while (std::fgets(line, sizeof line, f)) {
+      if (std::strncmp(line, "model name", 10) != 0) continue;
+      const char* colon = std::strchr(line, ':');
+      if (!colon) break;
+      std::string name = colon + 1;
+      while (!name.empty() && (name.front() == ' ' || name.front() == '\t'))
+        name.erase(name.begin());
+      while (!name.empty() && (name.back() == '\n' || name.back() == ' '))
+        name.pop_back();
+      if (!name.empty()) h.cpu = name;
+      break;
+    }
+    std::fclose(f);
+  }
+  h.cores = std::thread::hardware_concurrency();
+  return h;
+}
+
+/// Machine-readable result sink, opt-in via `--bench_json=<path>`.
+///
+/// Schema 2: one object {"schema": 2, "host": {compiler, flags, cpu,
+/// cores}, <extras>, "rows": [{benchmark, seconds, speedup_vs_baseline}]}
+/// — speedup is null for baseline rows, extras are raw JSON values added
+/// with extra() (e.g. the native engine's compile/cache stats).  CI
+/// uploads these files as artifacts so perf history survives the run.
 class JsonWriter {
  public:
   /// `path` may be empty (writer disabled).
@@ -29,7 +80,13 @@ class JsonWriter {
     rows_.push_back({benchmark, seconds, speedup_vs_baseline});
   }
 
-  /// Write the collected rows; returns false when disabled or on I/O error.
+  /// Attach a pre-rendered JSON value under a top-level key.
+  void extra(const std::string& key, const std::string& raw_json) {
+    extras_.emplace_back(key, raw_json);
+  }
+
+  /// Write the collected report; returns false when disabled or on I/O
+  /// error.
   bool write() const {
     if (!enabled()) return false;
     std::FILE* f = std::fopen(path_.c_str(), "w");
@@ -37,18 +94,29 @@ class JsonWriter {
       std::fprintf(stderr, "bench_json: cannot open %s\n", path_.c_str());
       return false;
     }
-    std::fprintf(f, "[\n");
+    const HostInfo h = host_info();
+    std::fprintf(f, "{\n  \"schema\": 2,\n");
+    std::fprintf(f,
+                 "  \"host\": {\"compiler\": \"%s\", \"flags\": \"%s\", "
+                 "\"cpu\": \"%s\", \"cores\": %u},\n",
+                 json_escape(h.compiler).c_str(),
+                 json_escape(h.flags).c_str(), json_escape(h.cpu).c_str(),
+                 h.cores);
+    for (const auto& [key, raw] : extras_)
+      std::fprintf(f, "  \"%s\": %s,\n", json_escape(key).c_str(),
+                   raw.c_str());
+    std::fprintf(f, "  \"rows\": [\n");
     for (std::size_t i = 0; i < rows_.size(); ++i) {
       const Row& r = rows_[i];
-      std::fprintf(f, "  {\"benchmark\": \"%s\", \"seconds\": %.9g, ",
-                   r.benchmark.c_str(), r.seconds);
+      std::fprintf(f, "    {\"benchmark\": \"%s\", \"seconds\": %.9g, ",
+                   json_escape(r.benchmark).c_str(), r.seconds);
       if (r.speedup > 0)
         std::fprintf(f, "\"speedup_vs_baseline\": %.6g}", r.speedup);
       else
         std::fprintf(f, "\"speedup_vs_baseline\": null}");
       std::fprintf(f, i + 1 < rows_.size() ? ",\n" : "\n");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     return true;
   }
@@ -59,8 +127,21 @@ class JsonWriter {
     double seconds;
     double speedup;
   };
+
+  static std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // control chars
+      out.push_back(c);
+    }
+    return out;
+  }
+
   std::string path_;
   std::vector<Row> rows_;
+  std::vector<std::pair<std::string, std::string>> extras_;
 };
 
 /// Pull `--bench_json=<path>` out of argv (google-benchmark rejects flags

@@ -9,6 +9,7 @@
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
 #include "kernels/qr_givens.hpp"
+#include "native/engine.hpp"
 #include "pm/runner.hpp"
 #include "pm/spec.hpp"
 
@@ -37,8 +38,19 @@ int main() {
   }
   ia.run();
   ib.run();
-  std::printf("max |point - optimized| on the interpreter: %g\n\n",
+  std::printf("max |point - optimized| on the interpreter: %g\n",
               interp::max_abs_diff(ia.store(), ib.store()));
+
+  // The optimized nest as JIT-compiled native code; its live-out rotation
+  // scalars round-trip through the entry wrapper like the VM's.
+  if (native::available()) {
+    interp::ExecEngine in(p, {{"M", m}, {"N", n}}, interp::Engine::Native);
+    interp::fill_random(in.store().arrays.at("A"), 8);
+    in.run();
+    std::printf("max |difference| VM vs native JIT: %g\n",
+                interp::max_abs_diff(ib.store(), in.store()));
+  }
+  std::printf("\n");
 
   // The native kernels (what bench_givens_qr measures in full).
   for (std::size_t size : {300UL, 500UL}) {

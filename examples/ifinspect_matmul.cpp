@@ -12,6 +12,7 @@
 #include "ir/printer.hpp"
 #include "kernels/ir_kernels.hpp"
 #include "kernels/matmul.hpp"
+#include "native/engine.hpp"
 #include "pm/runner.hpp"
 
 using namespace blk;
@@ -46,8 +47,20 @@ int main() {
   plant(ib, 9);
   ia.run();
   ib.run();
-  std::printf("max |difference| original vs inspected: %g\n\n",
+  std::printf("max |difference| original vs inspected: %g\n",
               interp::max_abs_diff(ia.store(), ib.store()));
+
+  // The inspected nest JIT-compiled to native code, same guards planted.
+  if (native::available()) {
+    interp::ExecEngine in(inspected, {{"N", n}}, interp::Engine::Native);
+    std::uint64_t s = 11;
+    for (auto& [name, t] : in.store().arrays) interp::fill_random(t, ++s);
+    plant(in, 9);
+    in.run();
+    std::printf("max |difference| VM vs native JIT: %g\n",
+                interp::max_abs_diff(ib.store(), in.store()));
+  }
+  std::printf("\n");
 
   // The native kernels at the paper's 300x300, long vs short runs.
   const std::size_t nn = 300;

@@ -8,6 +8,7 @@
 #include "interp/vm.hpp"
 #include "ir/builder.hpp"
 #include "ir/printer.hpp"
+#include "native/engine.hpp"
 #include "pm/runner.hpp"
 
 using namespace blk;
@@ -54,5 +55,15 @@ int main() {
   ib.run();
   std::printf("max |difference| between point and blocked runs: %g\n",
               interp::max_abs_diff(ia.store(), ib.store()));
+
+  // Same program, native JIT engine: compiled through the C backend and
+  // bit-identical to the VM (skipped when the host has no C compiler).
+  if (native::available()) {
+    interp::ExecEngine in(blocked, benv, interp::Engine::Native);
+    for (auto& [name, t] : in.store().arrays) interp::fill_random(t, 1);
+    in.run();
+    std::printf("max |difference| VM vs native JIT: %g\n",
+                interp::max_abs_diff(ib.store(), in.store()));
+  }
   return 0;
 }

@@ -138,10 +138,20 @@ void fill_random(Tensor& t, std::uint64_t seed, double lo = -1.0,
 /// Max |a-b| over all arrays common to both stores; throws if shapes differ.
 [[nodiscard]] double max_abs_diff(const Store& a, const Store& b);
 
+/// Which execution engine backs an ExecEngine instance (facade in vm.hpp).
+enum class Engine : std::uint8_t {
+  TreeWalker,  ///< reference semantics (src/interp/interp.*)
+  Vm,          ///< compiled bytecode (default)
+  Native,      ///< JIT through the C backend (src/native/)
+};
+
 /// Run `p` under `params` with inputs seeded by `seed`; returns the store.
-/// Executes on the bytecode VM (src/interp/vm.*); the tree-walker here
-/// remains the reference semantics it is differentially tested against.
+/// Executes on the bytecode VM by default (`engine` picks another; the
+/// native engine falls back to the VM when no toolchain exists); the
+/// tree-walker remains the reference semantics everything is
+/// differentially tested against.
 [[nodiscard]] Store run_seeded(const ir::Program& p, const ir::Env& params,
-                               std::uint64_t seed);
+                               std::uint64_t seed,
+                               Engine engine = Engine::Vm);
 
 }  // namespace blk::interp

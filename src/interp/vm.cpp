@@ -4,6 +4,7 @@
 #include <string>
 
 #include "ir/error.hpp"
+#include "native/engine.hpp"
 
 namespace blk::interp {
 
@@ -311,39 +312,126 @@ void Vm::run_impl(TraceBuffer* trace) {
 
 // ---- ExecEngine -------------------------------------------------------------
 
+Engine parse_engine(std::string_view name) {
+  if (name == "tree" || name == "treewalker") return Engine::TreeWalker;
+  if (name == "vm") return Engine::Vm;
+  if (name == "native") return Engine::Native;
+  throw Error("unknown engine '" + std::string(name) +
+              "' (expected tree, vm or native)");
+}
+
+const char* to_string(Engine e) {
+  switch (e) {
+    case Engine::TreeWalker: return "tree";
+    case Engine::Vm: return "vm";
+    case Engine::Native: return "native";
+  }
+  return "?";
+}
+
+/// native::Kernel bound to a Store: marshals parameter values, array base
+/// pointers and the scalar block per the entry wrapper's declaration-order
+/// contract, and syncs scalars back after each run (VM semantics).
+class NativeRunner {
+ public:
+  NativeRunner(const ir::Program& program, ir::Env params)
+      : params_(std::move(params)),
+        store_(make_store(program, params_)),
+        kernel_(program) {
+    param_vals_.reserve(kernel_.param_names().size());
+    for (const auto& name : kernel_.param_names()) {
+      auto it = params_.find(name);
+      if (it == params_.end())
+        throw Error("native: unbound parameter " + name);
+      param_vals_.push_back(it->second);
+    }
+    array_ptrs_.resize(kernel_.array_names().size(), nullptr);
+    scalar_vals_.resize(kernel_.scalar_names().size(), 0.0);
+  }
+
+  [[nodiscard]] Store& store() { return store_; }
+  [[nodiscard]] const Store& store() const { return store_; }
+  [[nodiscard]] const ir::Env& params() const { return params_; }
+
+  void run() {
+    for (std::size_t i = 0; i < kernel_.array_names().size(); ++i)
+      array_ptrs_[i] =
+          store_.arrays.at(kernel_.array_names()[i]).flat().data();
+    for (std::size_t i = 0; i < kernel_.scalar_names().size(); ++i) {
+      auto it = store_.scalars.find(kernel_.scalar_names()[i]);
+      scalar_vals_[i] = it == store_.scalars.end() ? 0.0 : it->second;
+    }
+    kernel_.call(param_vals_.data(), array_ptrs_.data(),
+                 scalar_vals_.data());
+    for (std::size_t i = 0; i < kernel_.scalar_names().size(); ++i)
+      store_.scalars[kernel_.scalar_names()[i]] = scalar_vals_[i];
+  }
+
+ private:
+  ir::Env params_;
+  Store store_;
+  native::Kernel kernel_;
+  std::vector<long> param_vals_;
+  std::vector<double*> array_ptrs_;
+  std::vector<double> scalar_vals_;
+};
+
 ExecEngine::ExecEngine(const ir::Program& program, ir::Env params,
                        Engine engine)
     : engine_(engine) {
-  if (engine_ == Engine::TreeWalker)
-    tw_ = std::make_unique<Interpreter>(program, std::move(params));
-  else
-    vm_ = std::make_unique<Vm>(program, std::move(params));
+  if (engine_ == Engine::Native && !native::available())
+    engine_ = Engine::Vm;  // fallback policy: no toolchain -> VM
+  switch (engine_) {
+    case Engine::TreeWalker:
+      tw_ = std::make_unique<Interpreter>(program, std::move(params));
+      break;
+    case Engine::Vm:
+      vm_ = std::make_unique<Vm>(program, std::move(params));
+      break;
+    case Engine::Native:
+      nat_ = std::make_unique<NativeRunner>(program, std::move(params));
+      break;
+  }
 }
 
 ExecEngine::~ExecEngine() = default;
 ExecEngine::ExecEngine(ExecEngine&&) noexcept = default;
 ExecEngine& ExecEngine::operator=(ExecEngine&&) noexcept = default;
 
-Store& ExecEngine::store() { return tw_ ? tw_->store() : vm_->store(); }
+Store& ExecEngine::store() {
+  if (tw_) return tw_->store();
+  if (vm_) return vm_->store();
+  return nat_->store();
+}
 const Store& ExecEngine::store() const {
-  return tw_ ? tw_->store() : vm_->store();
+  if (tw_) return tw_->store();
+  if (vm_) return vm_->store();
+  return nat_->store();
 }
 const ir::Env& ExecEngine::params() const {
-  return tw_ ? tw_->params() : vm_->params();
+  if (tw_) return tw_->params();
+  if (vm_) return vm_->params();
+  return nat_->params();
 }
 
 void ExecEngine::run() {
   if (tw_)
     tw_->run();
-  else
+  else if (vm_)
     vm_->run();
+  else
+    nat_->run();
 }
 
 void ExecEngine::run(TraceBuffer& tb) {
-  if (tw_)
+  if (tw_) {
     tw_->run([&tb](std::uint64_t addr, bool w) { tb.append(addr, w); });
-  else
-    vm_->run(&tb);
+    return;
+  }
+  if (nat_)
+    throw Error(
+        "native engine does not produce access traces; use Engine::Vm");
+  vm_->run(&tb);
 }
 
 void ExecEngine::run(const TraceFn& fn) {
@@ -351,6 +439,9 @@ void ExecEngine::run(const TraceFn& fn) {
     tw_->run(fn);
     return;
   }
+  if (nat_)
+    throw Error(
+        "native engine does not produce access traces; use Engine::Vm");
   // Adapt the VM's batched tracing to the legacy per-access callback.
   TraceBuffer buf(1 << 16, [&fn](std::span<const TraceRecord> recs) {
     for (const TraceRecord& r : recs) fn(r.addr, r.is_write);
@@ -360,12 +451,14 @@ void ExecEngine::run(const TraceFn& fn) {
 }
 
 std::uint64_t ExecEngine::statements_executed() const {
-  return tw_ ? tw_->statements_executed() : vm_->statements_executed();
+  if (tw_) return tw_->statements_executed();
+  if (vm_) return vm_->statements_executed();
+  return 0;  // the native engine does not count statements
 }
 
 Store run_seeded(const ir::Program& p, const ir::Env& params,
-                 std::uint64_t seed) {
-  ExecEngine eng(p, params, Engine::Vm);
+                 std::uint64_t seed, Engine engine) {
+  ExecEngine eng(p, params, engine);
   seed_store(eng.store(), seed);
   eng.run();
   return std::move(eng.store());

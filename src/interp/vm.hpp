@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
 #include "interp/compile.hpp"
@@ -56,14 +57,26 @@ class Vm {
   void run_impl(TraceBuffer* trace);
 };
 
-/// Which execution engine backs an ExecEngine instance.
-enum class Engine : std::uint8_t {
-  TreeWalker,  ///< reference semantics (src/interp/interp.*)
-  Vm,          ///< compiled bytecode (default)
-};
+// (the Engine enum lives in interp.hpp so run_seeded can default it)
 
-/// Uniform front door over both engines.  Construction allocates the
+/// "tree", "vm", "native" (the --engine spellings); throws blk::Error on
+/// anything else.
+[[nodiscard]] Engine parse_engine(std::string_view name);
+[[nodiscard]] const char* to_string(Engine e);
+
+class NativeRunner;  // vm.cpp: native::Kernel bound to a Store
+
+/// Uniform front door over the engines.  Construction allocates the
 /// store; callers seed inputs through store() and then run().
+///
+/// Engine::Native compiles the program's emitted C through the host
+/// toolchain (content-addressed .so cache, one compile per program shape
+/// — parameters stay symbolic).  When no toolchain is available the
+/// facade silently falls back to the VM: engine() reports the *effective*
+/// engine, so callers can tell.  Compile or load failures with a working
+/// toolchain still throw — those are bugs, not environment.  The native
+/// engine produces no access traces and no statement counts (traced run()
+/// overloads throw; statements_executed() is 0).
 class ExecEngine {
  public:
   ExecEngine(const ir::Program& program, ir::Env params,
@@ -87,6 +100,7 @@ class ExecEngine {
   Engine engine_;
   std::unique_ptr<Interpreter> tw_;
   std::unique_ptr<Vm> vm_;
+  std::unique_ptr<NativeRunner> nat_;
 };
 
 }  // namespace blk::interp

@@ -211,7 +211,8 @@ void emit_stmts(const StmtList& body, std::ostream& os, int depth) {
 
 }  // namespace
 
-std::string emit_c(const Program& p, const std::string& fn_name) {
+std::string emit_c(const Program& p, const std::string& fn_name,
+                   const EmitOptions& opts) {
   g_prog = &p;
   std::ostringstream os;
   os << "/* generated by blockability emit_c */\n"
@@ -266,10 +267,62 @@ std::string emit_c(const Program& p, const std::string& fn_name) {
     first = false;
     os << "double* " << name << "_buf";
   }
+  if (opts.scalar_io) {
+    if (!first) os << ", ";
+    first = false;
+    os << "double* blk_scalars";
+  }
   os << ") {\n";
-  for (const auto& sc : p.scalars()) os << "  double " << sc << " = 0.0;\n";
+  {
+    std::size_t slot = 0;
+    for (const auto& sc : p.scalars()) {
+      os << "  double " << sc << " = ";
+      if (opts.scalar_io)
+        os << "blk_scalars[" << slot++ << "]";
+      else
+        os << "0.0";
+      os << ";\n";
+    }
+  }
   emit_stmts(p.body, os, 1);
+  if (opts.scalar_io) {
+    std::size_t slot = 0;
+    for (const auto& sc : p.scalars())
+      os << "  blk_scalars[" << slot++ << "] = " << sc << ";\n";
+  }
   os << "}\n";
+
+  if (opts.entry_wrapper) {
+    // The uniform ABI: parameter values in declaration order, array base
+    // pointers in name order, the scalar block last.  One symbol with one
+    // signature, whatever the program's shape.
+    os << "\nvoid " << fn_name
+       << "_entry(const long* blk_params, double* const* blk_arrays, "
+          "double* blk_scalars) {\n"
+       << "  (void)blk_params; (void)blk_arrays; (void)blk_scalars;\n"
+       << "  " << fn_name << '(';
+    bool f2 = true;
+    std::size_t pi = 0;
+    for (const auto& prm : p.params()) {
+      (void)prm;
+      if (!f2) os << ", ";
+      f2 = false;
+      os << "blk_params[" << pi++ << ']';
+    }
+    std::size_t ai = 0;
+    for (const auto& arr : p.arrays()) {
+      (void)arr;
+      if (!f2) os << ", ";
+      f2 = false;
+      os << "blk_arrays[" << ai++ << ']';
+    }
+    if (opts.scalar_io) {
+      if (!f2) os << ", ";
+      f2 = false;
+      os << "blk_scalars";
+    }
+    os << ");\n}\n";
+  }
   g_prog = nullptr;
   return os.str();
 }

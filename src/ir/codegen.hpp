@@ -13,6 +13,28 @@
 
 namespace blk::ir {
 
+/// Emission knobs for consumers beyond the human-readable default.  The
+/// native JIT engine (src/native/) uses both: `scalar_io` makes scalar
+/// state round-trip through the caller exactly like the VM's
+/// sync_scalars_in/out, and `entry_wrapper` provides one fixed-signature
+/// symbol a dlopen caller can bind without per-program FFI.
+struct EmitOptions {
+  /// Append a trailing `double* blk_scalars` parameter; scalars are
+  /// initialized from it (declaration order of Program::scalars()) and
+  /// written back before return, instead of starting at 0.0 and being
+  /// discarded.
+  bool scalar_io = false;
+  /// Also emit
+  ///
+  ///   void <fn_name>_entry(const long* blk_params,
+  ///                        double* const* blk_arrays,
+  ///                        double* blk_scalars);
+  ///
+  /// forwarding to <fn_name> with parameters in declaration order and
+  /// arrays in name order — the uniform ABI the JIT dlsyms.
+  bool entry_wrapper = false;
+};
+
 /// Emit `p` as a standalone C99 translation unit defining
 ///
 ///   void <fn_name>(<long params...>, <double* arrays...>);
@@ -24,6 +46,7 @@ namespace blk::ir {
 /// interpreter's semantics.  The unit is self-contained (includes math.h
 /// and defines MIN/MAX/floor-division helpers).
 [[nodiscard]] std::string emit_c(const Program& p,
-                                 const std::string& fn_name);
+                                 const std::string& fn_name,
+                                 const EmitOptions& opts = {});
 
 }  // namespace blk::ir

@@ -1,0 +1,174 @@
+#include "native/engine.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "ir/codegen.hpp"
+#include "ir/error.hpp"
+
+namespace blk::native {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  Stats totals;
+  std::vector<KernelTimings> kernels;
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+void record_construction(const KernelTimings& t) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.totals.kernels;
+  if (t.cache_hit)
+    ++r.totals.cache_hits;
+  else
+    ++r.totals.compiles;
+  r.totals.compile_seconds += t.compile_seconds;
+  r.totals.load_seconds += t.load_seconds;
+  r.kernels.push_back(t);
+}
+
+void record_run(const std::string& key, double seconds) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.totals.runs;
+  r.totals.run_seconds += seconds;
+  for (auto it = r.kernels.rbegin(); it != r.kernels.rend(); ++it) {
+    if (it->key == key) {
+      ++it->runs;
+      it->run_seconds += seconds;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Kernel::Kernel(const ir::Program& p, const std::string& fn_name,
+               KernelCache* cache) {
+  const Toolchain* tc = toolchain();
+  if (!tc)
+    throw Error(
+        "native: no host C toolchain (install cc or set BLK_NATIVE_CC); "
+        "use the VM engine instead");
+
+  param_names_ = p.params();
+  for (const auto& [name, decl] : p.arrays()) array_names_.push_back(name);
+  for (const auto& sc : p.scalars()) scalar_names_.push_back(sc);
+
+  source_ = ir::emit_c(p, fn_name,
+                       {.scalar_io = true, .entry_wrapper = true});
+  KernelCache& kc = cache ? *cache : default_cache();
+  CompileOutcome out = kc.get_or_compile(source_, *tc);
+  so_path_ = out.so_path;
+  module_ = std::make_unique<Module>(out.so_path);
+  entry_ = reinterpret_cast<EntryFn>(module_->sym(fn_name + "_entry"));
+  if (!entry_)
+    throw Error("native: compiled object " + out.so_path +
+                " does not export " + fn_name + "_entry");
+
+  timings_.key = out.key;
+  timings_.fn = fn_name;
+  timings_.cache_hit = out.cache_hit;
+  timings_.compile_seconds = out.compile_seconds;
+  timings_.load_seconds = module_->load_seconds();
+  record_construction(timings_);
+}
+
+void Kernel::call(const long* params, double* const* arrays,
+                  double* scalars) {
+  const auto t0 = std::chrono::steady_clock::now();
+  entry_(params, arrays, scalars);
+  const double s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++timings_.runs;
+  timings_.run_seconds += s;
+  record_run(timings_.key, s);
+}
+
+void warm(const std::vector<const ir::Program*>& programs, int workers,
+          KernelCache* cache) {
+  if (programs.empty()) return;
+  if (!available())
+    throw Error("native: warm() needs a host C toolchain");
+  unsigned n = workers > 0 ? static_cast<unsigned>(workers)
+                           : std::thread::hardware_concurrency();
+  if (n == 0) n = 2;
+  n = std::min<unsigned>(n, static_cast<unsigned>(programs.size()));
+
+  std::atomic<std::size_t> next{0};
+  std::mutex err_mu;
+  std::string errors;
+  std::vector<std::thread> pool;
+  pool.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    pool.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < programs.size();
+           i = next.fetch_add(1)) {
+        try {
+          Kernel k(*programs[i], "blk_kernel", cache);
+        } catch (const std::exception& e) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          errors += std::string(e.what()) + "\n";
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (!errors.empty()) throw Error("native: warm() failed:\n" + errors);
+}
+
+Stats stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.totals;
+}
+
+void reset_stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.totals = Stats{};
+  r.kernels.clear();
+}
+
+std::vector<KernelTimings> kernel_stats() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.kernels;
+}
+
+std::string stats_json() {
+  const Stats t = stats();
+  const std::vector<KernelTimings> ks = kernel_stats();
+  std::ostringstream os;
+  os.precision(9);
+  os << "{\"kernels_built\": " << t.kernels
+     << ", \"compiles\": " << t.compiles
+     << ", \"cache_hits\": " << t.cache_hits << ", \"runs\": " << t.runs
+     << ", \"compile_seconds\": " << t.compile_seconds
+     << ", \"load_seconds\": " << t.load_seconds
+     << ", \"run_seconds\": " << t.run_seconds << ", \"kernels\": [";
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    const KernelTimings& k = ks[i];
+    os << (i ? ", " : "") << "{\"key\": \"" << k.key << "\", \"fn\": \""
+       << k.fn << "\", \"cache_hit\": " << (k.cache_hit ? "true" : "false")
+       << ", \"compile_seconds\": " << k.compile_seconds
+       << ", \"load_seconds\": " << k.load_seconds
+       << ", \"runs\": " << k.runs
+       << ", \"run_seconds\": " << k.run_seconds << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace blk::native

@@ -76,7 +76,8 @@ std::string json_escape(std::string_view s) {
 }  // namespace
 
 std::string report_json(const RunReport& report, std::string_view program,
-                        std::string_view pipeline) {
+                        std::string_view pipeline,
+                        std::string_view native_json) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"program\": \"" << json_escape(program) << "\",\n";
@@ -86,6 +87,8 @@ std::string report_json(const RunReport& report, std::string_view program,
      << ", \"misses\": " << report.analysis.misses()
      << ", \"invalidations\": " << report.analysis.invalidations
      << ", \"build_seconds\": " << report.analysis.build_seconds << "},\n";
+  if (!native_json.empty())
+    os << "  \"native\": " << native_json << ",\n";
   os << "  \"passes\": [\n";
   for (std::size_t i = 0; i < report.passes.size(); ++i) {
     const PassStat& p = report.passes[i];

@@ -4,6 +4,10 @@
 // a garbage negative time.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <iterator>
+#include <string>
+
 #include "bench/benchutil.hpp"
 
 namespace blk::bench {
@@ -36,6 +40,54 @@ TEST(JsonWriter, DisabledWriterRefusesToWrite) {
   EXPECT_FALSE(w.enabled());
   w.row("BM_X", 1.0);
   EXPECT_FALSE(w.write());
+}
+
+TEST(HostInfo, PopulatesTheReportMetadata) {
+  HostInfo h = host_info();
+  EXPECT_FALSE(h.compiler.empty());
+  EXPECT_NE(h.compiler, "unknown") << "test binary built by gcc or clang";
+  EXPECT_GE(h.cores, 1u);
+  EXPECT_FALSE(h.cpu.empty());
+}
+
+// The schema-2 report shape is pinned: {"schema": 2, "host": {compiler,
+// flags, cpu, cores}, <extras>, "rows": [...]}.  CI readers index
+// ["rows"]; changing this layout must break here first.
+TEST(JsonWriter, Schema2ShapeIsPinned) {
+  std::string path =
+      std::string(::testing::TempDir()) + "/benchutil_schema2.json";
+  JsonWriter w(path);
+  w.row("BM_Base/10", 0.5);
+  w.row("BM_Fast/10", 0.25, 2.0);
+  w.extra("native", "{\"compiles\": 3}");
+  ASSERT_TRUE(w.write());
+
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  for (const char* needle :
+       {"\"schema\": 2", "\"host\": {\"compiler\": \"", "\"flags\": \"",
+        "\"cpu\": \"", "\"cores\": ", "\"native\": {\"compiles\": 3}",
+        "\"rows\": [", "{\"benchmark\": \"BM_Base/10\", \"seconds\": 0.5, "
+        "\"speedup_vs_baseline\": null}",
+        "{\"benchmark\": \"BM_Fast/10\", \"seconds\": 0.25, "
+        "\"speedup_vs_baseline\": 2}"}) {
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing " << needle << " in:\n" << text;
+  }
+}
+
+TEST(JsonWriter, EscapesQuotesAndBackslashes) {
+  std::string path =
+      std::string(::testing::TempDir()) + "/benchutil_escape.json";
+  JsonWriter w(path);
+  w.row("BM_\"quoted\"\\path", 1.0);
+  ASSERT_TRUE(w.write());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("BM_\\\"quoted\\\"\\\\path"), std::string::npos)
+      << text;
 }
 
 }  // namespace

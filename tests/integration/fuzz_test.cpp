@@ -31,6 +31,7 @@
 #include "interp/interp.hpp"
 #include "interp/vm.hpp"
 #include "ir/builder.hpp"
+#include "native/engine.hpp"
 #include "ir/error.hpp"
 #include "ir/printer.hpp"
 #include "ir/validate.hpp"
@@ -220,6 +221,32 @@ struct Gen {
   return os.str();
 }
 
+/// VM vs native JIT on one program: bitwise stores (arrays and scalars).
+/// Returns an empty string on agreement, a reproducer otherwise.  The JIT
+/// produces no traces or statement counts, so only stores are compared.
+[[nodiscard]] std::string diff_native(const Program& p, const ir::Env& params,
+                                      std::uint64_t seed) {
+  interp::ExecEngine vm(p, params, interp::Engine::Vm);
+  interp::ExecEngine nat(p, params, interp::Engine::Native);
+  test::seed_inputs(vm, seed);
+  test::seed_inputs(nat, seed);
+  vm.run();
+  nat.run();
+  std::ostringstream os;
+  for (const auto& [name, ta] : vm.store().arrays) {
+    const auto& tb = nat.store().arrays.at(name);
+    if (std::memcmp(ta.flat().data(), tb.flat().data(),
+                    ta.size() * sizeof(double)) != 0)
+      os << "array " << name << " diverges between vm and native\n";
+  }
+  for (const auto& [name, va] : vm.store().scalars) {
+    const double vb = nat.store().scalars.at(name);
+    if (std::memcmp(&va, &vb, sizeof(double)) != 0)
+      os << "scalar " << name << " diverges between vm and native\n";
+  }
+  return os.str();
+}
+
 /// One fuzzing campaign; returns failure reproducers (empty = clean).
 [[nodiscard]] std::vector<std::string> fuzz_seed(int seed) {
   std::vector<std::string> failures;
@@ -254,6 +281,23 @@ struct Gen {
                            "\n--- original ---\n" + print(original.body) +
                            "--- mutated ---\n" + print(mutated.body));
         return failures;  // one reproducer is enough
+      }
+      // Sampled three-engine check: the native JIT must agree bitwise
+      // with the VM on the same generated programs.  Sampled (one round,
+      // one size, a quarter of the seeds) because each unique program
+      // costs a real C compile; the per-entry cache locks keep the
+      // parallel workers from duplicating any of them.
+      if (native::available() && seed % 4 == 0 && round == 0 && n == 9) {
+        for (const Program* prog : {&original, &mutated}) {
+          std::string e = diff_native(*prog, {{"N", n}}, 1234);
+          if (!e.empty()) {
+            failures.push_back("seed " + std::to_string(seed) + " round " +
+                               std::to_string(round) + " N=" +
+                               std::to_string(n) + " (vm vs native)\n" + e +
+                               print(prog->body));
+            return failures;
+          }
+        }
       }
       // Differential engine check on both shapes of this round (the two
       // sizes that exercise empty/short and full-trip loops).

@@ -6,9 +6,18 @@
 #include <cstdlib>
 #include <fstream>
 
+#include <cstring>
+#include <map>
+
+#include "interp/interp.hpp"
+#include "interp/vm.hpp"
 #include "ir/builder.hpp"
 #include "ir/codegen.hpp"
 #include "kernels/ir_kernels.hpp"
+#include "native/engine.hpp"
+#include "pm/runner.hpp"
+#include "pm/spec.hpp"
+#include "testutil.hpp"
 #include "transform/blocking.hpp"
 #include "transform/ifinspect.hpp"
 
@@ -171,6 +180,187 @@ int main(void) {
       << "C compilation failed; see " << dir << "/blk_codegen_givens.err";
   EXPECT_EQ(std::system(exe.c_str()), 0)
       << "generated point and optimized Givens disagree";
+}
+
+
+// ---- Differential corner suite --------------------------------------------
+//
+// Every parity corner where C and the VM could plausibly disagree gets an
+// emit -> compile -> run comparison against the VM on identical seeded
+// inputs, bit for bit (the default native flags pin -ffp-contract=off, so
+// agreement is exact).  Skipped when the host has no C toolchain.
+
+/// Run `p` on the VM and the native JIT engine under identical inputs and
+/// require bitwise-identical stores.
+void expect_native_matches_vm(
+    const Program& p, const Env& env, std::uint64_t seed,
+    const std::map<std::string, double>& diag_boost = {}) {
+  interp::ExecEngine vm(p, env, interp::Engine::Vm);
+  interp::ExecEngine nat(p, env, interp::Engine::Native);
+  ASSERT_EQ(nat.engine(), interp::Engine::Native);
+  for (auto* e : {&vm, &nat}) {
+    blk::test::seed_inputs(*e, seed, diag_boost);
+    auto dt = e->store().scalars.find("DT");
+    if (dt != e->store().scalars.end()) dt->second = 0.25;
+  }
+  vm.run();
+  nat.run();
+  for (const auto& [name, ta] : vm.store().arrays) {
+    const interp::Tensor& tb = nat.store().arrays.at(name);
+    ASSERT_EQ(ta.size(), tb.size()) << name;
+    EXPECT_EQ(std::memcmp(ta.flat().data(), tb.flat().data(),
+                          ta.size() * sizeof(double)),
+              0)
+        << "array " << name << " differs between VM and native";
+  }
+  for (const auto& [name, va] : vm.store().scalars) {
+    const double vb = nat.store().scalars.at(name);
+    EXPECT_EQ(std::memcmp(&va, &vb, sizeof(double)), 0)
+        << "scalar " << name << " differs between VM and native";
+  }
+}
+
+#define SKIP_WITHOUT_TOOLCHAIN() \
+  if (!blk::native::available()) GTEST_SKIP() << "no host C toolchain"
+
+TEST(CodegenDifferential, FloorAndCeilDivNegativeNumerators) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // I-20 is negative throughout, so BLK_FDIV/BLK_CDIV take their negative
+  // branches; a round-toward-zero C division here would hit different
+  // elements than the VM and shift the counts.
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {iadd(iconst(9), ifloordiv(isub(ivar("I"),
+                                                            iconst(20)),
+                                                       3))}),
+                    a("A", {iadd(iconst(9),
+                                 ifloordiv(isub(ivar("I"), iconst(20)), 3))}) +
+                        f(1.0)),
+             assign(lv("B", {iadd(iconst(9), iceildiv(isub(ivar("I"),
+                                                           iconst(20)),
+                                                      3))}),
+                    a("B", {iadd(iconst(9),
+                                 iceildiv(isub(ivar("I"), iconst(20)), 3))}) +
+                        f(1.0))));
+  expect_native_matches_vm(p, {{"N", 12}}, 21);
+}
+
+TEST(CodegenDifferential, MinMaxBoundedLoops) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // Trapezoidal bounds evaluated once at loop entry in both engines.
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             loop("K", imax(c(1), v("I") - 2), imin(v("N"), v("I") + 2),
+                  assign(lv("A", {v("K")}),
+                         a("A", {v("K")}) + a("B", {v("I")})))));
+  expect_native_matches_vm(p, {{"N", 15}}, 22);
+}
+
+TEST(CodegenDifferential, ZeroTripLoops) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // An ascending loop whose lower bound exceeds N, and a descending loop
+  // whose bounds are inverted: neither body may execute (the guarded body
+  // would index out of bounds, which the VM traps).
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.add(loop("I", v("N") + 2, v("N"),
+             assign(lv("A", {v("N") + 1}), f(99.0))));
+  p.add(loop_step("I", c(1), v("N"), c(-1),
+                  assign(lv("A", {v("N") + 1}), f(99.0))));
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("A", {v("I")}), a("A", {v("I")}) * f(2.0))));
+  expect_native_matches_vm(p, {{"N", 7}}, 23);
+}
+
+TEST(CodegenDifferential, ScalarSubscriptsTruncateTowardZero) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  // (long)3.7 = 3 and (long)-2.7 = -2 in C; the VM's static_cast<long>
+  // agrees.  A rounding or floor-based emitter would hit A(-3) instead.
+  Program p;
+  p.param("N");
+  p.scalar("S");
+  p.scalar("T");
+  p.array_bounds("A", {{.lb = c(0) - v("N"), .ub = v("N")}});
+  p.add(assign(lvs("S"), f(3.7)));
+  p.add(assign(lv("A", {ivar("S")}), f(1.0)));
+  p.add(assign(lvs("T"), f(-2.7)));
+  p.add(assign(lv("A", {ivar("T")}), f(2.0)));
+  p.add(assign(lvs("S"), s("S") * s("T")));
+  expect_native_matches_vm(p, {{"N", 5}}, 24);
+}
+
+TEST(CodegenDifferential, GoldenLuPointAndAutoBlocked) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  expect_native_matches_vm(blk::kernels::lu_point_ir(), {{"N", 37}}, 30,
+                           {{"A", 37.0}});
+  Program blocked = blk::kernels::lu_point_ir();
+  blocked.param("KS");
+  analysis::Assumptions hints;
+  hints.assert_le(isub(iadd(ivar("K"), ivar("KS")), iconst(1)),
+                  isub(ivar("N"), iconst(1)));
+  auto res = transform::auto_block(blocked, blocked.body[0]->as_loop(),
+                                   ivar("KS"), hints);
+  ASSERT_TRUE(res.blocked);
+  expect_native_matches_vm(blocked, {{"N", 37}, {"KS", 8}}, 30,
+                           {{"A", 37.0}});
+}
+
+TEST(CodegenDifferential, GoldenPivotedLuPointAndPipelineBlocked) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  expect_native_matches_vm(blk::kernels::lu_pivot_point_ir(), {{"N", 24}},
+                           31);
+  Program blocked = blk::kernels::lu_pivot_point_ir();
+  analysis::Assumptions hints;
+  pm::add_fact(hints, "K+BS-1<=N-1");
+  (void)pm::run_spec(blocked,
+                     "stripmine(b=BS); split; distribute(commutativity); "
+                     "interchange",
+                     hints);
+  expect_native_matches_vm(blocked, {{"N", 24}, {"BS", 5}}, 31);
+}
+
+TEST(CodegenDifferential, GoldenGivensPointAndOptimized) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  expect_native_matches_vm(blk::kernels::givens_qr_ir(),
+                           {{"M", 19}, {"N", 13}}, 32, {{"A", 19.0}});
+  Program opt = blk::kernels::givens_qr_ir();
+  (void)transform::optimize_givens(opt);
+  expect_native_matches_vm(opt, {{"M", 19}, {"N", 13}}, 32, {{"A", 19.0}});
+}
+
+TEST(CodegenDifferential, GoldenConvolutions) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  const Env env{{"N1", 20}, {"N2", 17}, {"N3", 20}};
+  expect_native_matches_vm(blk::kernels::conv_ir(), env, 33);
+  expect_native_matches_vm(blk::kernels::aconv_ir(), env, 33);
+  Program opt = blk::kernels::conv_ir();
+  (void)transform::optimize_convolution(opt, 4);
+  expect_native_matches_vm(opt, env, 33);
+}
+
+TEST(CodegenDifferential, GoldenGuardedMatmulAndIfInspected) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  expect_native_matches_vm(blk::kernels::matmul_guarded_ir(), {{"N", 14}},
+                           34);
+  Program p = blk::kernels::matmul_guarded_ir();
+  Loop& k = p.body[0]->as_loop().body[0]->as_loop();
+  blk::transform::if_inspect(p, p.body, k);
+  expect_native_matches_vm(p, {{"N", 14}}, 34);
+}
+
+TEST(CodegenDifferential, GoldenRecurrenceAndSum) {
+  SKIP_WITHOUT_TOOLCHAIN();
+  expect_native_matches_vm(blk::kernels::partial_recurrence_ir(),
+                           {{"N", 33}}, 35);
+  expect_native_matches_vm(blk::kernels::sum_example_ir(),
+                           {{"M", 21}, {"N", 21}}, 35);
 }
 
 }  // namespace

@@ -1,0 +1,199 @@
+// The content-addressed kernel cache's contract: stable keys, one compile
+// per distinct (source, toolchain), corruption detected by content hash
+// and silently recompiled, LRU eviction under the byte cap, and concurrent
+// lookups collapsing into a single compile.
+//
+// Every test that actually compiles skips when the host has no C
+// toolchain, mirroring the engine's own fallback policy.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "ir/error.hpp"
+#include "native/cache.hpp"
+#include "native/jit.hpp"
+
+namespace blk::native {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string fresh_dir(const char* tag) {
+  fs::path d = fs::path(::testing::TempDir()) / tag;
+  fs::remove_all(d);
+  fs::create_directories(d);
+  return d.string();
+}
+
+const char* kTrivialSource = "void blk_kernel(void) {}\n";
+
+TEST(KernelCacheKey, StableAndSensitiveToSourceAndToolchain) {
+  Toolchain tc{"cc", "test 1.0", {"-O2"}};
+  std::string k1 = KernelCache::hash_key("int x;", tc);
+  std::string k2 = KernelCache::hash_key("int x;", tc);
+  EXPECT_EQ(k1, k2);
+  EXPECT_EQ(k1.size(), 32u);
+
+  EXPECT_NE(KernelCache::hash_key("int y;", tc), k1);
+  Toolchain other = tc;
+  other.flags.push_back("-march=native");
+  EXPECT_NE(KernelCache::hash_key("int x;", other), k1)
+      << "a flag change must never reuse a stale object";
+  other = tc;
+  other.version = "test 2.0";
+  EXPECT_NE(KernelCache::hash_key("int x;", other), k1)
+      << "a compiler upgrade must never reuse a stale object";
+}
+
+TEST(KernelCacheEnv, MaxBytesComesFromEnvironment) {
+  const char* old = std::getenv("BLK_NATIVE_CACHE_MAX_MB");
+  std::string saved = old ? old : "";
+  ::setenv("BLK_NATIVE_CACHE_MAX_MB", "3", 1);
+  EXPECT_EQ(KernelCache::default_max_bytes(), 3ull << 20);
+  if (old)
+    ::setenv("BLK_NATIVE_CACHE_MAX_MB", saved.c_str(), 1);
+  else
+    ::unsetenv("BLK_NATIVE_CACHE_MAX_MB");
+}
+
+TEST(KernelCacheCompile, MissCompilesThenHits) {
+  if (!available()) GTEST_SKIP() << "no host C toolchain";
+  KernelCache cache(fresh_dir("kc_hit"));
+  CompileOutcome first = cache.get_or_compile(kTrivialSource, *toolchain());
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_GT(first.compile_seconds, 0.0);
+  EXPECT_TRUE(fs::exists(first.so_path));
+  EXPECT_TRUE(fs::exists(first.c_path)) << "emitted C kept for inspection";
+
+  CompileOutcome second = cache.get_or_compile(kTrivialSource, *toolchain());
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.so_path, first.so_path);
+  EXPECT_EQ(second.key, first.key);
+}
+
+TEST(KernelCacheCompile, CompileErrorCarriesCompilerStderr) {
+  if (!available()) GTEST_SKIP() << "no host C toolchain";
+  KernelCache cache(fresh_dir("kc_err"));
+  try {
+    (void)cache.get_or_compile("this is not C at all;\n", *toolchain());
+    FAIL() << "expected blk::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("error"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(KernelCacheCompile, CorruptObjectIsDetectedAndRecompiled) {
+  if (!available()) GTEST_SKIP() << "no host C toolchain";
+  KernelCache cache(fresh_dir("kc_corrupt"));
+  CompileOutcome first = cache.get_or_compile(kTrivialSource, *toolchain());
+  {
+    std::ofstream out(first.so_path, std::ios::trunc | std::ios::binary);
+    out << "garbage that is definitely not an ELF shared object";
+  }
+  CompileOutcome again = cache.get_or_compile(kTrivialSource, *toolchain());
+  EXPECT_FALSE(again.cache_hit)
+      << "content-hash mismatch must force a recompile";
+  EXPECT_GT(fs::file_size(again.so_path), 100u);
+  // And the recompiled entry is healthy again.
+  EXPECT_TRUE(cache.get_or_compile(kTrivialSource, *toolchain()).cache_hit);
+}
+
+TEST(KernelCacheCompile, TruncatedObjectIsDetectedAndRecompiled) {
+  if (!available()) GTEST_SKIP() << "no host C toolchain";
+  KernelCache cache(fresh_dir("kc_trunc"));
+  CompileOutcome first = cache.get_or_compile(kTrivialSource, *toolchain());
+  fs::resize_file(first.so_path, fs::file_size(first.so_path) / 2);
+  CompileOutcome again = cache.get_or_compile(kTrivialSource, *toolchain());
+  EXPECT_FALSE(again.cache_hit);
+  EXPECT_TRUE(cache.get_or_compile(kTrivialSource, *toolchain()).cache_hit);
+}
+
+TEST(KernelCacheEviction, LruKeepsNewestUnderByteCap) {
+  if (!available()) GTEST_SKIP() << "no host C toolchain";
+  // Compile one entry to learn the per-entry footprint, then set the cap
+  // to hold roughly two entries.
+  std::string dir = fresh_dir("kc_lru");
+  std::uint64_t one_entry;
+  {
+    KernelCache probe(dir);
+    (void)probe.get_or_compile("/* probe */ void blk_kernel(void) {}\n",
+                               *toolchain());
+    one_entry = probe.size_bytes();
+    ASSERT_GT(one_entry, 0u);
+  }
+  KernelCache cache(fresh_dir("kc_lru2"), one_entry * 5 / 2);
+
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4; ++i) {
+    std::string src = "/* v" + std::to_string(i) +
+                      " */ void blk_kernel(void) {}\n";
+    keys.push_back(cache.get_or_compile(src, *toolchain()).key);
+    // Distinct mtimes so LRU order is unambiguous even on coarse clocks.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_LE(cache.size_bytes(), cache.max_bytes());
+  auto so = [&](const std::string& key) {
+    return fs::exists(fs::path(cache.dir()) / (key + ".so"));
+  };
+  EXPECT_FALSE(so(keys[0])) << "oldest entry should be evicted";
+  EXPECT_TRUE(so(keys[3])) << "newest entry must survive";
+}
+
+TEST(KernelCacheEviction, HitRefreshesRecency) {
+  if (!available()) GTEST_SKIP() << "no host C toolchain";
+  std::uint64_t one_entry;
+  {
+    KernelCache probe(fresh_dir("kc_touch_probe"));
+    (void)probe.get_or_compile("/* probe */ void blk_kernel(void) {}\n",
+                               *toolchain());
+    one_entry = probe.size_bytes();
+  }
+  KernelCache cache(fresh_dir("kc_touch"), one_entry * 5 / 2);
+  std::string a = "/* a */ void blk_kernel(void) {}\n";
+  std::string key_a = cache.get_or_compile(a, *toolchain()).key;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::string key_b =
+      cache.get_or_compile("/* b */ void blk_kernel(void) {}\n", *toolchain())
+          .key;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  // Touch `a`, then insert a third entry: `b` is now the LRU victim.
+  EXPECT_TRUE(cache.get_or_compile(a, *toolchain()).cache_hit);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (void)cache.get_or_compile("/* c */ void blk_kernel(void) {}\n",
+                             *toolchain());
+  auto so = [&](const std::string& key) {
+    return fs::exists(fs::path(cache.dir()) / (key + ".so"));
+  };
+  EXPECT_TRUE(so(key_a)) << "recently hit entry must survive eviction";
+  EXPECT_FALSE(so(key_b));
+}
+
+TEST(KernelCacheConcurrency, IdenticalLookupsShareOneCompile) {
+  if (!available()) GTEST_SKIP() << "no host C toolchain";
+  KernelCache cache(fresh_dir("kc_conc"));
+  constexpr int kThreads = 6;
+  std::atomic<int> misses{0};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    pool.emplace_back([&] {
+      CompileOutcome out =
+          cache.get_or_compile(kTrivialSource, *toolchain());
+      if (!out.cache_hit) misses.fetch_add(1);
+      EXPECT_TRUE(fs::exists(out.so_path));
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(misses.load(), 1)
+      << "the per-entry flock must serialize to exactly one compile";
+}
+
+}  // namespace
+}  // namespace blk::native

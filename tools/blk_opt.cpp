@@ -32,9 +32,17 @@
 //   --model_json PATH    write the BlockChoice record (analytic prediction
 //                        plus measured sweep) as JSON
 //   --assume FACT        add a symbolic fact for the analyses (repeatable)
-//   --check BINDINGS     run the original and transformed programs on the
-//                        bytecode VM with the given parameter bindings
-//                        (e.g. N=24,BS=5) and compare results (repeatable)
+//   --check BINDINGS     run the original and transformed programs with the
+//                        given parameter bindings (e.g. N=24,BS=5) and
+//                        compare results (repeatable); with --engine=native
+//                        each check also cross-validates the native engine
+//                        against the bytecode VM on both programs
+//   --engine NAME        execution engine for --check: tree, vm (default),
+//                        or native (JIT through the C backend; falls back
+//                        to the VM when no host toolchain exists)
+//   --keep-c DIR         write the C emitted for the original and
+//                        transformed programs to DIR/original.c and
+//                        DIR/transformed.c
 //   --golden FILE        diff the printed result against FILE; exit 1 on
 //                        mismatch
 //   --bench_json PATH    write per-pass stats (wall time, IR statement
@@ -45,6 +53,8 @@
 //
 // Exit status: 0 success, 1 verification/check/golden failure, 2 usage or
 // compile error.
+#include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -54,8 +64,10 @@
 
 #include "interp/interp.hpp"
 #include "interp/vm.hpp"
+#include "ir/codegen.hpp"
 #include "ir/error.hpp"
 #include "ir/printer.hpp"
+#include "native/engine.hpp"
 #include "lang/parser.hpp"
 #include "model/model.hpp"
 #include "pm/runner.hpp"
@@ -100,16 +112,84 @@ void seed_inputs(blk::interp::ExecEngine& e, std::uint64_t seed) {
 }
 
 /// Max elementwise difference between the two programs' results under
-/// `params` on the bytecode VM.
+/// `params` on the chosen engine.
 double run_and_diff(const blk::ir::Program& a, const blk::ir::Program& b,
-                    const blk::ir::Env& params) {
-  blk::interp::ExecEngine ia(a, params);
-  blk::interp::ExecEngine ib(b, params);
+                    const blk::ir::Env& params,
+                    blk::interp::Engine engine) {
+  blk::interp::ExecEngine ia(a, params, engine);
+  blk::interp::ExecEngine ib(b, params, engine);
   seed_inputs(ia, 0x5eed);
   seed_inputs(ib, 0x5eed);
   ia.run();
   ib.run();
   return blk::interp::max_abs_diff(ia.store(), ib.store());
+}
+
+/// Location and values of the worst elementwise disagreement between two
+/// stores — the payload of the minimized reproducer message.
+struct DiffSite {
+  std::string var;          // "A(3,5)" or a scalar name
+  double va = 0.0, vb = 0.0;
+  double diff = 0.0;
+};
+
+DiffSite find_max_diff(const blk::interp::Store& a,
+                       const blk::interp::Store& b) {
+  DiffSite best;
+  for (const auto& [name, ta] : a.arrays) {
+    auto it = b.arrays.find(name);
+    if (it == b.arrays.end()) continue;
+    auto fa = ta.flat();
+    auto fb = it->second.flat();
+    for (std::size_t i = 0; i < fa.size() && i < fb.size(); ++i) {
+      double d = std::fabs(fa[i] - fb[i]);
+      if (!(d > best.diff)) continue;
+      // Column-major unflatten through the declared bounds.
+      std::ostringstream sub;
+      std::size_t rest = i;
+      sub << name << "(";
+      for (std::size_t dim = 0; dim < ta.rank(); ++dim) {
+        std::size_t extent =
+            static_cast<std::size_t>(ta.upper(dim) - ta.lower(dim) + 1);
+        sub << (dim ? "," : "")
+            << ta.lower(dim) + static_cast<long>(rest % extent);
+        rest /= extent;
+      }
+      sub << ")";
+      best = {sub.str(), fa[i], fb[i], d};
+    }
+  }
+  for (const auto& [name, va] : a.scalars) {
+    auto it = b.scalars.find(name);
+    if (it == b.scalars.end()) continue;
+    double d = std::fabs(va - it->second);
+    if (d > best.diff) best = {name, va, it->second, d};
+  }
+  return best;
+}
+
+/// Run `p` on the VM and the native engine under identical seeded inputs;
+/// on divergence print a minimized reproducer (bindings, program, worst
+/// element) and return false.  `what` names the program in messages.
+bool cross_check_native(const blk::ir::Program& p, const blk::ir::Env& env,
+                        const std::string& bindings_label,
+                        const char* what) {
+  blk::interp::ExecEngine vm(p, env, blk::interp::Engine::Vm);
+  blk::interp::ExecEngine nat(p, env, blk::interp::Engine::Native);
+  seed_inputs(vm, 0x5eed);
+  seed_inputs(nat, 0x5eed);
+  vm.run();
+  nat.run();
+  DiffSite site = find_max_diff(vm.store(), nat.store());
+  if (site.diff == 0.0) return true;
+  std::cerr << "blk-opt: --check " << bindings_label
+            << "ENGINE DIVERGENCE (vm vs native) on the " << what
+            << " program\n"
+            << "  worst element: " << site.var << " = " << site.va
+            << " (vm) vs " << site.vb << " (native), |diff| = " << site.diff
+            << "\n  reproduce: blk-opt --engine=native --check "
+            << bindings_label << "... <same pipeline and input>\n";
+  return false;
 }
 
 void print_registry() {
@@ -163,6 +243,8 @@ int main(int argc, char** argv) {
   std::string golden_path;
   std::string json_path;
   std::vector<blk::ir::Env> checks;
+  blk::interp::Engine engine = blk::interp::Engine::Vm;
+  std::string keep_c_dir;
   blk::analysis::Assumptions hints;
   bool verify = true;
   bool quiet = false;
@@ -189,6 +271,10 @@ int main(int argc, char** argv) {
         blk::pm::add_fact(hints, need_value("--assume"));
       } else if (arg == "--check") {
         checks.push_back(parse_bindings(need_value("--check")));
+      } else if (arg == "--engine") {
+        engine = blk::interp::parse_engine(need_value("--engine"));
+      } else if (arg == "--keep-c") {
+        keep_c_dir = need_value("--keep-c");
       } else if (arg == "--golden") {
         golden_path = need_value("--golden");
       } else if (arg == "--bench_json") {
@@ -219,8 +305,9 @@ int main(int argc, char** argv) {
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "usage: blk-opt -p SPEC [--assume FACT]... "
                      "[--check N=24,BS=5]... [--golden FILE]\n"
-                     "               [--bench_json PATH] [--no-verify] "
-                     "[--quiet] [file.f]\n"
+                     "               [--engine tree|vm|native] [--keep-c DIR] "
+                     "[--bench_json PATH]\n"
+                     "               [--no-verify] [--quiet] [file.f]\n"
                      "       blk-opt --auto-b [--cache SIZE/LINE/ASSOC]... "
                      "[--latency L1,..,MEM]\n"
                      "               [--probe N] [--tolerance PCT] "
@@ -301,13 +388,24 @@ int main(int argc, char** argv) {
   std::cout << printed;
   if (!quiet) print_stats(report);
 
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) {
-      std::cerr << "blk-opt: cannot write " << json_path << "\n";
-      return 2;
+  if (!keep_c_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(keep_c_dir, ec);
+    const blk::ir::EmitOptions eo{.scalar_io = true, .entry_wrapper = true};
+    for (const auto& [name, p] :
+         {std::pair<const char*, const blk::ir::Program*>{"original.c",
+                                                          &original},
+          {"transformed.c", &prog}}) {
+      std::filesystem::path path =
+          std::filesystem::path(keep_c_dir) / name;
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "blk-opt: cannot write " << path.string() << "\n";
+        return 2;
+      }
+      out << blk::ir::emit_c(*p, "blk_kernel", eo);
+      if (!quiet) std::cerr << "blk-opt: wrote " << path.string() << "\n";
     }
-    out << blk::pm::report_json(report, file, pipeline.to_string());
   }
 
   int status = 0;
@@ -340,23 +438,58 @@ int main(int argc, char** argv) {
     // back the user's bindings; explicit NAME=INT on the command line wins.
     blk::ir::Env full = env;
     full.insert(ctx.resolved.begin(), ctx.resolved.end());
+    std::ostringstream label;
+    for (const auto& [k, v] : env) label << k << "=" << v << " ";
     double diff = 0.0;
     try {
-      diff = run_and_diff(original, prog, full);
+      diff = run_and_diff(original, prog, full, engine);
     } catch (const std::exception& e) {
       std::cerr << "blk-opt: --check failed to run: " << e.what() << "\n";
       status = 1;
       continue;
     }
-    std::ostringstream label;
-    for (const auto& [k, v] : env) label << k << "=" << v << " ";
     if (diff != 0.0) {
-      std::cerr << "blk-opt: --check " << label.str()
-                << "DIVERGED (max |diff| = " << diff << ")\n";
+      std::cerr << "blk-opt: --check " << label.str() << "DIVERGED on the "
+                << blk::interp::to_string(engine)
+                << " engine (max |diff| = " << diff << ")\n";
       status = 1;
     } else if (!quiet) {
-      std::cerr << "blk-opt: --check " << label.str() << "ok\n";
+      std::cerr << "blk-opt: --check " << label.str() << "ok ("
+                << blk::interp::to_string(engine) << ")\n";
     }
+    // On the native engine every check also differentially validates the
+    // JIT against the VM oracle, independently for both programs — a
+    // divergence here is an emitter or toolchain bug, not a bad pass.
+    if (engine == blk::interp::Engine::Native && blk::native::available()) {
+      try {
+        if (!cross_check_native(original, full, label.str(), "original"))
+          status = 1;
+        else if (!cross_check_native(prog, full, label.str(), "transformed"))
+          status = 1;
+        else if (!quiet)
+          std::cerr << "blk-opt: --check " << label.str()
+                    << "vm-vs-native ok\n";
+      } catch (const std::exception& e) {
+        std::cerr << "blk-opt: --check " << label.str()
+                  << "vm-vs-native failed to run: " << e.what() << "\n";
+        status = 1;
+      }
+    }
+  }
+
+  // Written after the checks so the native section reflects every kernel
+  // the differential runs built (compile counts, cache hits, run timings).
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "blk-opt: cannot write " << json_path << "\n";
+      return 2;
+    }
+    std::string native_json;
+    if (blk::native::stats().kernels > 0)
+      native_json = blk::native::stats_json();
+    out << blk::pm::report_json(report, file, pipeline.to_string(),
+                                native_json);
   }
 
   if (!golden_path.empty()) {
