@@ -50,16 +50,28 @@ void assert_upper(Assumptions& ctx, const IExprPtr& var, const IExprPtr& e) {
 }  // namespace
 
 void Assumptions::add_loop_range(const Loop& loop) {
-  // Only meaningful for positive step (the common case); wider steps still
-  // satisfy lb <= var <= ub when step > 0.
-  if (loop.step->kind == IKind::Const && loop.step->value > 0)
+  // Wider steps still satisfy lb <= var <= ub when step > 0; a descending
+  // loop counts DO I = lb, ub, -s with ub <= var <= lb.  Symbolic steps
+  // give no usable range (the sign is unknown).
+  if (loop.step->kind != IKind::Const) return;
+  if (loop.step->value > 0)
     add_loop_range(loop.var, loop.lb, loop.ub);
+  else if (loop.step->value < 0)
+    add_loop_range(loop.var, loop.ub, loop.lb);
 }
 
 void Assumptions::add_loop_range(const std::string& var, const IExprPtr& lb,
                                  const IExprPtr& ub) {
   assert_lower(*this, ivar(var), lb);
   assert_upper(*this, ivar(var), ub);
+}
+
+void Assumptions::add_loop_range(const std::string& var, const IExprPtr& lb,
+                                 const IExprPtr& ub, const IExprPtr& step) {
+  if (step && step->kind == IKind::Const && step->value < 0)
+    add_loop_range(var, ub, lb);
+  else
+    add_loop_range(var, lb, ub);
 }
 
 bool Assumptions::nonneg_with(const Affine& f,

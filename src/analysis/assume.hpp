@@ -33,6 +33,12 @@ class Assumptions {
   void add_loop_range(const ir::Loop& loop);
   void add_loop_range(const std::string& var, const ir::IExprPtr& lb,
                       const ir::IExprPtr& ub);
+  /// Like the (var, lb, ub) overload but step-aware: a provably negative
+  /// constant `step` swaps the bounds (descending loops count ub..lb), any
+  /// other step is treated as ascending.  Use wherever the loop header may
+  /// have been reversed.
+  void add_loop_range(const std::string& var, const ir::IExprPtr& lb,
+                      const ir::IExprPtr& ub, const ir::IExprPtr& step);
 
   /// Provably f >= 0?  Proof search: constant sign; or f minus a sum of at
   /// most two asserted facts (each usable once) is a non-negative constant.

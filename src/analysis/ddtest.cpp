@@ -283,7 +283,7 @@ void enumerate_vectors(const std::vector<LoopConstraint>& cons,
   for (const Loop* l : b.loops) {
     auto it = ren.find(l->var);
     if (it == ren.end()) continue;  // same instance as the source side
-    ctx.add_loop_range(it->second, renamed(l->lb), renamed(l->ub));
+    ctx.add_loop_range(it->second, renamed(l->lb), renamed(l->ub), l->step);
   }
   for (std::size_t l = 0; l < common.size(); ++l) {
     const std::string& v = common[l]->var;

@@ -28,6 +28,7 @@
 #include "cachesim/cache.hpp"
 #include "ir/program.hpp"
 #include "model/model.hpp"
+#include "sa/certify.hpp"
 #include "transform/split.hpp"
 
 namespace blk::pm {
@@ -129,6 +130,11 @@ struct PipelineContext {
   ir::Env resolved;
   /// The full decision record of the last selectblock run.
   std::optional<model::BlockChoice> block_choice;
+
+  /// Per-loop parallel-safety verdicts from the last `certify` stage
+  /// (pre-order over the program at the time the stage ran; later
+  /// structural passes invalidate the `loop` pointers, not the labels).
+  std::vector<sa::LoopVerdict> verdicts;
 
   /// Per-stage reporting: a stage that decides to no-op (e.g. distribute
   /// after a not-distributable split) sets these; the runner resets them

@@ -110,6 +110,7 @@ Registry::Registry() {
   add({.name = "split-trapezoid",
        .doc = "de-trapezoidalize the target loop at every MIN/MAX "
               "crossover (§3.2 step 1)",
+       .options = {},
        .run = [](PipelineContext& ctx, const PassInvocation&) {
          ctx.pieces =
              transform::split_trapezoid_all(ctx.prog.body, ctx.target());
@@ -131,6 +132,7 @@ Registry::Registry() {
        .doc = "resolve bounds and sink the strip loop in every perfect-"
               "nest piece (§5.1 step 4); without pieces, sink the "
               "strip/target loop",
+       .options = {},
        .run = [](PipelineContext& ctx, const PassInvocation&) {
          int before = ctx.interchanges;
          detail::step_interchange(ctx);
@@ -141,12 +143,14 @@ Registry::Registry() {
 
   add({.name = "fuse",
        .doc = "fuse the target loop with its next same-header sibling",
+       .options = {},
        .run = [](PipelineContext& ctx, const PassInvocation&) {
          transform::fuse(ctx.prog.body, ctx.target());
        }});
 
   add({.name = "reverse",
        .doc = "reverse the target loop's iteration order",
+       .options = {},
        .run = [](PipelineContext& ctx, const PassInvocation&) {
          transform::reverse_loop(ctx.prog.body, ctx.target());
        }});
@@ -224,6 +228,7 @@ Registry::Registry() {
   add({.name = "simplify-bounds",
        .doc = "resolve MIN/MAX loop bounds using the pipeline hints plus "
               "loop-range facts",
+       .options = {},
        .run = [](PipelineContext& ctx, const PassInvocation&) {
          transform::simplify_all_bounds(ctx.prog.body, ctx.hints);
        }});
@@ -268,6 +273,34 @@ Registry::Registry() {
                             " candidates"
                       : ", no sweep") +
              ")";
+       }});
+
+  add({.name = "certify",
+       .doc = "label every loop parallel / reduction / serial (blk-lint's "
+              "certifier) and record the verdicts for later stages; with "
+              "check, re-verify each parallel label by section overlap and "
+              "fail the pipeline on disagreement",
+       .options = {{.name = "check", .kind = OptKind::Flag,
+                    .doc = "run the independent write-write race re-check"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         sa::CertifyOptions opt{.ctx = &ctx.hints};
+         sa::CertifyResult r = sa::certify(ctx.prog, opt);
+         if (inv.flag("check")) {
+           verify::Report races = sa::check_races(ctx.prog, r, &ctx.hints);
+           if (!races.diags.empty())
+             throw Error("certify: race re-check disagrees: " +
+                         races.diags.front().message);
+         }
+         ctx.verdicts = std::move(r.loops);
+         std::size_t np = 0, nr = 0, ns = 0;
+         for (const auto& lv : ctx.verdicts) {
+           if (lv.verdict == sa::Verdict::Parallel) ++np;
+           else if (lv.verdict == sa::Verdict::Reduction) ++nr;
+           else ++ns;
+         }
+         ctx.stage_note = std::to_string(np) + " parallel, " +
+                          std::to_string(nr) + " reduction, " +
+                          std::to_string(ns) + " serial";
        }});
 
   // --- composite drivers ---------------------------------------------------
@@ -334,6 +367,7 @@ Registry::Registry() {
        .doc = "the §5.4 pipeline: ifinspect(auto) then two interchanges "
               "to make the update loop outermost",
        .composite = true,
+       .options = {},
        .run = [](PipelineContext& ctx, const PassInvocation&) {
          detail::optimize_givens_impl(ctx);
        }});

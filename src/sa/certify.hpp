@@ -1,0 +1,81 @@
+// Parallel-safety certification: label every loop level of a program
+//
+//     parallel               no loop-carried dependence survives
+//     reduction(op, var)     every carried dependence is an accumulation
+//                            into a loop-invariant location through a
+//                            recognized sum / product / min / max pattern
+//     serial(witness)        some carried dependence resists both proofs
+//
+// — the §5.2-style legality reasoning of the source paper turned into a
+// standing analysis.  Verdicts come from `analysis::DepGraph` carried-edge
+// queries plus a reduction recognizer that handles scalar and array-element
+// accumulators (including the scalar-replaced forms scalar replacement
+// introduces, and the pivot search's arg-max IF pattern).
+//
+// `check_races` is the independent safety net: for every loop certified
+// `parallel` it re-derives, from regular-section overlap alone (no
+// dependence tester involved), that two distinct iterations never write the
+// same location — so a wrong certification surfaces as a hard error.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/assume.hpp"
+#include "ir/program.hpp"
+#include "verify/diagnostic.hpp"
+
+namespace blk::sa {
+
+enum class Verdict : std::uint8_t { Parallel, Reduction, Serial };
+enum class ReduceOp : std::uint8_t { Sum, Product, Min, Max };
+
+[[nodiscard]] const char* to_string(Verdict v);
+[[nodiscard]] const char* to_string(ReduceOp op);
+
+/// Certification of one loop level.
+struct LoopVerdict {
+  const ir::Loop* loop = nullptr;
+  std::string var;    ///< induction variable
+  std::string path;   ///< statement path ("DO K > DO I")
+  int depth = 0;      ///< 0 = outermost
+  Verdict verdict = Verdict::Serial;
+  ReduceOp op = ReduceOp::Sum;    ///< valid when verdict == Reduction
+  std::string accumulator;        ///< e.g. "S" or "A(I,J)" (Reduction)
+  std::string witness;            ///< carried edge that forces Serial
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct CertifyOptions {
+  const analysis::Assumptions* ctx = nullptr;  ///< extra symbolic facts
+};
+
+struct CertifyResult {
+  std::vector<LoopVerdict> loops;  ///< pre-order over the program
+
+  /// n-th verdict (0-based) among loops with this induction variable.
+  [[nodiscard]] const LoopVerdict* find(const std::string& var,
+                                        int occurrence = 0) const;
+  [[nodiscard]] std::size_t count(Verdict v) const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Certify every loop of `p`.
+[[nodiscard]] CertifyResult certify(ir::Program& p,
+                                    const CertifyOptions& opt = {});
+
+/// Render verdicts as Note diagnostics (codes certify-parallel /
+/// certify-reduction / certify-serial), one per loop.
+[[nodiscard]] verify::Report verdict_report(const CertifyResult& result);
+
+/// Independently re-verify every `parallel` verdict by proving, from
+/// section overlap under `ctx`, that distinct iterations write disjoint
+/// locations (and that written scalars are privatizable).  Disagreement is
+/// an Error with code "parallel-cert-race".
+[[nodiscard]] verify::Report check_races(ir::Program& p,
+                                         const CertifyResult& result,
+                                         const analysis::Assumptions* ctx =
+                                             nullptr);
+
+}  // namespace blk::sa

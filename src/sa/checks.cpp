@@ -1,0 +1,132 @@
+#include "sa/checks.hpp"
+
+#include <set>
+#include <vector>
+
+#include "analysis/refs.hpp"
+#include "analysis/sections.hpp"
+#include "sa/dataflow.hpp"
+
+namespace blk::sa {
+
+using analysis::Assumptions;
+
+namespace {
+
+/// Dead stores, one statement list at a time.  A store becomes "pending"
+/// when its subtree writes it unconditionally and its own reads provably
+/// miss it; a later sibling kills it (dead store) by writing a covering
+/// region unconditionally, or consumes it (live) by any read that is not
+/// provably disjoint.  Pending stores surviving to the end of the list are
+/// simply dropped — something after the sequence may still read them.
+class DeadStoreChecker final : public Checker {
+ public:
+  explicit DeadStoreChecker(verify::Report& rep) : rep_(rep) {}
+
+  void on_sequence(std::span<const StmtFacts> children,
+                   const Assumptions& ctx) override {
+    std::vector<const Region*> pending;
+    for (const auto& child : children) {
+      // Reads first (Fortran evaluates the RHS before storing): any read
+      // that may touch a pending region keeps it alive.
+      std::erase_if(pending, [&](const Region* store) {
+        for (const auto& rd : child.reads)
+          if (rd.array == store->array &&
+              (!rd.analyzable ||
+               analysis::disjoint(rd.section, store->section, ctx) != true))
+            return true;
+        return false;
+      });
+      // Kills: an unconditional covering write makes the pending store
+      // dead — its value was never observable.
+      if (child.must_execute) {
+        std::erase_if(pending, [&](const Region* store) {
+          for (const auto& w : child.writes)
+            if (!w.guarded && w.analyzable && w.array == store->array &&
+                analysis::subset(store->section, w.section, ctx) == true) {
+              rep_.add(verify::Severity::Warning, "dead-store",
+                       "store to " + store->section.to_string() +
+                           " is overwritten by " + w.path +
+                           " before any read",
+                       store->path);
+              return true;
+            }
+          return false;
+        });
+      }
+      // The child's own unconditional stores become candidates, provided
+      // the child itself provably never reads them back (unknown internal
+      // ordering otherwise).
+      for (const auto& w : child.writes) {
+        if (!w.analyzable || w.guarded || !child.must_execute) continue;
+        bool self_read = false;
+        for (const auto& rd : child.reads)
+          if (rd.array == w.array &&
+              (!rd.analyzable ||
+               analysis::disjoint(rd.section, w.section, ctx) != true))
+            self_read = true;
+        if (!self_read) pending.push_back(&w);
+      }
+    }
+  }
+
+ private:
+  verify::Report& rep_;
+};
+
+/// Uninitialized region reads.  Warn only when every part of the proof
+/// succeeds: the read's fully-expanded region is provably disjoint from
+/// every write region that may execute before it, the array *is* written
+/// somewhere in the program (else it is an external input), and no write
+/// to it defeats section analysis.
+class UninitReadChecker final : public Checker {
+ public:
+  UninitReadChecker(ir::Program& p, verify::Report& rep) : rep_(rep) {
+    for (const auto& r : analysis::collect_refs(p.body)) {
+      if (!r.is_write || r.is_scalar()) continue;
+      written_.insert(r.array);
+      for (const auto& s : r.subs)
+        if (!s) unanalyzable_.insert(r.array);
+    }
+  }
+
+  void on_read(const Region& r, const RegionState& state,
+               const Assumptions& ctx) override {
+    if (!r.analyzable) return;
+    if (!written_.count(r.array) || unanalyzable_.count(r.array)) return;
+    const RegionSet* writes = state.writes(r.array);
+    if (writes && writes->may_overlap(r.section, ctx)) return;
+    rep_.add(verify::Severity::Warning, "uninit-region-read",
+             "read of " + r.section.to_string() +
+                 " precedes every write of " + r.array +
+                 "; the region is provably never initialized here",
+             r.path);
+  }
+
+ private:
+  verify::Report& rep_;
+  std::set<std::string> written_;
+  std::set<std::string> unanalyzable_;
+};
+
+}  // namespace
+
+verify::Report check_dead_stores(ir::Program& p, const CheckOptions& opt) {
+  verify::Report rep;
+  DeadStoreChecker checker(rep);
+  Checker* list[] = {&checker};
+  run_dataflow(p, list, {.ctx = opt.ctx});
+  rep.canonicalize();
+  return rep;
+}
+
+verify::Report check_uninit_reads(ir::Program& p, const CheckOptions& opt) {
+  verify::Report rep;
+  UninitReadChecker checker(p, rep);
+  Checker* list[] = {&checker};
+  run_dataflow(p, list, {.ctx = opt.ctx});
+  rep.canonicalize();
+  return rep;
+}
+
+}  // namespace blk::sa

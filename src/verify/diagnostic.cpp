@@ -61,4 +61,22 @@ void Report::merge(const Report& other) {
   diags.insert(diags.end(), other.diags.begin(), other.diags.end());
 }
 
+void Report::canonicalize() {
+  std::stable_sort(diags.begin(), diags.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.where != b.where) return a.where < b.where;
+                     if (a.code != b.code) return a.code < b.code;
+                     if (a.subscript != b.subscript)
+                       return a.subscript < b.subscript;
+                     return static_cast<int>(a.severity) >
+                            static_cast<int>(b.severity);
+                   });
+  auto last = std::unique(diags.begin(), diags.end(),
+                          [](const Diagnostic& a, const Diagnostic& b) {
+                            return a.code == b.code && a.where == b.where &&
+                                   a.subscript == b.subscript;
+                          });
+  diags.erase(last, diags.end());
+}
+
 }  // namespace blk::verify

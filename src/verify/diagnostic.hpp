@@ -38,6 +38,11 @@ struct Report {
            std::string where = {}, int subscript = 0);
   /// Append every diagnostic of `other`.
   void merge(const Report& other);
+
+  /// Make the report diff-able: sort by (where, code, subscript, severity
+  /// descending) and drop duplicates with the same code+where+subscript,
+  /// keeping the most severe (first after the sort).
+  void canonicalize();
 };
 
 }  // namespace blk::verify

@@ -244,7 +244,7 @@ struct Linter {
           }
 
           Assumptions inner = ctxs.back();
-          if (l.lb && l.ub) inner.add_loop_range(l.var, l.lb, l.ub);
+          if (l.lb && l.ub) inner.add_loop_range(l.var, l.lb, l.ub, l.step);
           ctxs.push_back(std::move(inner));
           loops.push_back(&l);
           if (zero_trip) ++dead_depth;
@@ -294,6 +294,7 @@ Report lint(Program& p, const LintOptions& opt) {
     linter.rep.add(Severity::Error, "structure", std::move(problem));
   linter.walk(p.body);
   linter.report_scalar_uses();
+  linter.rep.canonicalize();
   return std::move(linter.rep);
 }
 

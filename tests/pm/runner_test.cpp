@@ -170,9 +170,45 @@ TEST(PipelineRunner, RegistryCoversTheCatalogue) {
         "distribute", "fuse", "unrolljam", "scalarrepl", "scalarexpand",
         "ifinspect", "simplify-bounds", "normalize", "reverse", "focus",
         "autoblock", "autoblockplus", "registerblock", "optconv",
-        "optgivens"}) {
+        "optgivens", "certify"}) {
     EXPECT_NE(Registry::instance().lookup(name), nullptr) << name;
   }
+}
+
+// The certify stage records every loop's parallel-safety verdict in the
+// context for later stages (and for blk-opt's reporting), and its
+// race re-check accepts the certification.
+TEST(PipelineRunner, CertifyPassRecordsVerdictsInContext) {
+  Program p = blk::kernels::lu_point_ir();
+  PipelineContext ctx(p);
+  RunReport report = run_pipeline(parse_pipeline("certify(check)"), ctx);
+
+  // Pre-order: DO K, the scaling DO I, the update DO I, the update DO J.
+  ASSERT_EQ(ctx.verdicts.size(), 4u);
+  EXPECT_EQ(ctx.verdicts[0].var, "K");
+  EXPECT_EQ(ctx.verdicts[0].verdict, sa::Verdict::Serial);
+  for (std::size_t i = 1; i < 4; ++i)
+    EXPECT_EQ(ctx.verdicts[i].verdict, sa::Verdict::Parallel)
+        << ctx.verdicts[i].to_string();
+
+  ASSERT_EQ(report.passes.size(), 1u);
+  EXPECT_EQ(report.passes[0].note, "3 parallel, 0 reduction, 1 serial");
+}
+
+// Verdicts refresh across structural stages: after blocking, the update
+// loops the paper parallelizes are certified parallel.
+TEST(PipelineRunner, CertifyAfterBlockingSeesTheBlockedLoops) {
+  Program p = blk::kernels::lu_point_ir();
+  PipelineContext ctx(p, full_block_hint());
+  run_pipeline(parse_pipeline(
+                   "stripmine(b=KS); split; distribute; interchange; "
+                   "certify(check)"),
+               ctx);
+  EXPECT_GT(ctx.verdicts.size(), 3u);  // blocking multiplies the levels
+  std::size_t parallel = 0;
+  for (const auto& lv : ctx.verdicts)
+    if (lv.verdict == sa::Verdict::Parallel) ++parallel;
+  EXPECT_GE(parallel, 2u);
 }
 
 }  // namespace

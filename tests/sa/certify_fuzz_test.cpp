@@ -1,0 +1,384 @@
+// Metamorphic fuzzing of the parallel-safety certifier.
+//
+// Two properties are enforced over >= 100 seeded pass pipelines:
+//
+//  1. Zero false `parallel` certifications — after every committed
+//     pipeline the section-overlap race checker (an independent proof
+//     path that never consults the dependence tester) must agree with
+//     every verdict the certifier hands out.
+//
+//  2. Verdict invariance where the transformation theory guarantees the
+//     certifier can still prove it:
+//       - distributing or index-splitting a `parallel` loop leaves every
+//         piece `parallel` (each piece asks a subset of the original
+//         dependence questions over the same or a tighter range);
+//       - interchanging two adjacent rectangular `parallel` loops keeps
+//         both `parallel` (direction vectors are permuted, `=` stays
+//         `=`, and rectangular bounds survive the swap unchanged).
+//     Stripmining and triangular interchange rewrite loop bounds into
+//     forms whose independence needs chained range facts the dependence
+//     tester conservatively gives up on, so a parallel->serial downgrade
+//     there is sound conservatism, not a bug — those passes (and
+//     reverse / normalize / fuse / unrolljam) are exercised under
+//     property 1 only.
+//
+// Mutations go through the pass-manager pipeline parser exactly like the
+// semantics fuzzer in tests/integration/fuzz_test.cpp, so illegal
+// requests are refused by the legality layer and simply skipped.  Seeds
+// are independent and fan out across a thread pool; failures are
+// collected as strings because gtest assertions are not thread-safe off
+// the main thread.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ir/builder.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "pm/runner.hpp"
+#include "pm/spec.hpp"
+#include "sa/certify.hpp"
+
+namespace blk::sa {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+
+constexpr long kPad = 96;
+
+/// All loops of the program in pre-order (the order `focus(index=...)`
+/// and CertifyResult::find count occurrences in).
+std::vector<Loop*> all_loops(Program& p) {
+  std::vector<Loop*> loops;
+  for_each_stmt(p.body, [&](Stmt& s) {
+    if (s.kind() == SKind::Loop) loops.push_back(&s.as_loop());
+  });
+  return loops;
+}
+
+/// Rank of loops[which] among loops sharing its induction variable.
+int rank_of(const std::vector<Loop*>& loops, std::size_t which) {
+  int rank = 0;
+  for (std::size_t j = 0; j < which; ++j)
+    if (loops[j]->var == loops[which]->var) ++rank;
+  return rank;
+}
+
+int count_var(const std::vector<Loop*>& loops, const std::string& var) {
+  int n = 0;
+  for (const Loop* l : loops)
+    if (l->var == var) ++n;
+  return n;
+}
+
+/// Random loop nests in the shape of the semantics fuzzer's generator:
+/// 2-3 deep, possibly triangular, A(2-D)/B(1-D) with a read-only scalar.
+struct Gen {
+  std::mt19937_64 rng;
+
+  explicit Gen(std::uint64_t seed) : rng(seed) {}
+
+  long pick(long lo, long hi) {
+    return std::uniform_int_distribution<long>(lo, hi)(rng);
+  }
+  bool coin(double p = 0.5) {
+    return std::uniform_real_distribution<double>(0, 1)(rng) < p;
+  }
+
+  IExprPtr subscript(const std::vector<std::string>& vars) {
+    IExprPtr e = iconst(pick(-4, 4));
+    for (const auto& v : vars)
+      if (coin(0.7)) {
+        long k = pick(-2, 2);
+        if (k != 0) e = iadd(std::move(e), imul(iconst(k), ivar(v)));
+      }
+    return simplify(e);
+  }
+
+  StmtPtr statement(const std::vector<std::string>& vars) {
+    VExprPtr rhs = a("A", {subscript(vars), subscript(vars)});
+    if (coin()) rhs = rhs + a("B", {subscript(vars)});
+    if (coin(0.3)) rhs = rhs * f(0.5);
+    if (coin(0.15)) rhs = rhs + s("T");
+    StmtPtr st =
+        assign(lv("A", {subscript(vars), subscript(vars)}), std::move(rhs));
+    if (coin(0.2)) {
+      StmtList guarded;
+      guarded.push_back(std::move(st));
+      return make_if({.lhs = a("B", {subscript(vars)}),
+                      .op = CmpOp::GT,
+                      .rhs = vconst(0.0)},
+                     std::move(guarded));
+    }
+    return st;
+  }
+
+  Program program() {
+    Program p;
+    p.param("N");
+    p.array_bounds("A", {{.lb = iconst(-kPad), .ub = iconst(kPad)},
+                         {.lb = iconst(-kPad), .ub = iconst(kPad)}});
+    p.array_bounds("B", {{.lb = iconst(-kPad), .ub = iconst(kPad)}});
+    p.scalar("T");
+    int depth = static_cast<int>(pick(2, 3));
+    std::vector<std::string> vars;
+    const char* names[] = {"I", "J", "K"};
+    StmtList innermost;
+    for (int d = 0; d < depth; ++d) vars.push_back(names[d]);
+    innermost.push_back(statement(vars));
+    if (coin(0.4)) innermost.push_back(statement(vars));
+
+    StmtList body = std::move(innermost);
+    for (int d = depth - 1; d >= 0; --d) {
+      IExprPtr lb = iconst(1);
+      IExprPtr ub = ivar("N");
+      if (d > 0 && coin(0.4)) lb = iadd(ivar(names[d - 1]), iconst(pick(0, 2)));
+      if (d > 0 && coin(0.3))
+        ub = imin(ivar("N"), iadd(ivar(names[d - 1]), iconst(pick(1, 4))));
+      StmtList wrapped;
+      wrapped.push_back(
+          make_loop(names[d], std::move(lb), std::move(ub), std::move(body)));
+      body = std::move(wrapped);
+    }
+    for (auto& st : body) p.add(std::move(st));
+    return p;
+  }
+};
+
+/// `check_races` must bless every verdict in `r` — this is the "zero
+/// false parallel certifications" acceptance property.
+[[nodiscard]] std::string race_agreement(Program& p, const CertifyResult& r) {
+  verify::Report races = check_races(p, r);
+  if (races.ok()) return {};
+  return "race checker disagrees with certifier:\n" + races.to_string() +
+         r.to_string() + print(p.body);
+}
+
+/// One mutation step: picks a loop and a pass, runs the pipeline, applies
+/// the invariance assertions for the pass kind.  Returns true when a
+/// pipeline was committed (counts toward the campaign total), and appends
+/// a reproducer to `failures` on any property violation.
+bool mutate_and_check(Gen& gen, pm::PipelineContext& ctx,
+                      std::vector<std::string>& failures,
+                      const std::string& tag) {
+  Program& p = ctx.prog;
+  std::vector<Loop*> loops = all_loops(p);
+  if (loops.empty() || loops.size() > 5) return false;  // keep analysis cheap
+  std::size_t which = static_cast<std::size_t>(
+      gen.pick(0, static_cast<long>(loops.size()) - 1));
+  Loop* l = loops[which];
+  const std::string var = l->var;
+  const int rank = rank_of(loops, which);
+  const int pre_var_count = count_var(loops, var);
+  const bool unit_step = l->step->kind == IKind::Const && l->step->value == 1;
+
+  enum class Pass { Stripmine, Split, Interchange, Distribute, Other };
+  Pass pass = Pass::Other;
+  std::string spec =
+      "focus(var=" + var + ", index=" + std::to_string(rank) + "); ";
+  switch (gen.pick(0, 7)) {
+    case 0:
+      if (!unit_step) return false;
+      pass = Pass::Stripmine;
+      spec += "stripmine(b=" + std::to_string(gen.pick(2, 5)) + ")";
+      break;
+    case 1:
+      pass = Pass::Split;
+      spec += "splitat(at=" + std::to_string(gen.pick(-2, 14)) + ")";
+      break;
+    case 2:
+      pass = Pass::Interchange;
+      spec += "interchange";
+      break;
+    case 3:
+      pass = Pass::Distribute;
+      spec += "distribute";
+      break;
+    case 4:
+      spec += "reverse";
+      break;
+    case 5:
+      spec += "normalize(origin=0)";
+      break;
+    case 6:
+      spec += "fuse";
+      break;
+    default:
+      if (!unit_step) return false;
+      spec += "unrolljam(u=2)";
+      break;
+  }
+
+  // Pre-state facts, computed only for the passes with a pinned property.
+  bool pre_parallel = false;
+  std::string inner_var;
+  int inner_rank = -1;
+  bool assert_interchange = false;
+  if (pass == Pass::Split || pass == Pass::Distribute ||
+      pass == Pass::Interchange) {
+    CertifyResult pre = certify(p);
+    const LoopVerdict* pre_lv = pre.find(var, rank);
+    pre_parallel = pre_lv && pre_lv->verdict == Verdict::Parallel;
+    if (pass == Pass::Interchange && pre_parallel &&
+        l->body.size() == 1 && l->body[0]->kind() == SKind::Loop) {
+      Loop* inner = &l->body[0]->as_loop();
+      // Rectangular only: a triangular swap rewrites bounds into MIN/MAX
+      // forms whose proofs the tester may conservatively drop.
+      if (!mentions(*inner->lb, var) && !mentions(*inner->ub, var)) {
+        inner_var = inner->var;
+        inner_rank = rank_of(
+            loops, static_cast<std::size_t>(
+                       std::find(loops.begin(), loops.end(), inner) -
+                       loops.begin()));
+        const LoopVerdict* iv = pre.find(inner_var, inner_rank);
+        assert_interchange = iv && iv->verdict == Verdict::Parallel;
+      }
+    }
+  }
+
+  try {
+    (void)pm::run_pipeline(pm::parse_pipeline(spec), ctx);
+  } catch (const blk::Error&) {
+    return false;  // legality refused the request; not a committed pipeline
+  }
+
+  auto fail = [&](const std::string& what) {
+    failures.push_back(tag + " after `" + spec + "`: " + what + "\n" +
+                       print(p.body));
+  };
+
+  CertifyResult post = certify(p);
+
+  // Property 1 on the new program state.
+  if (std::string e = race_agreement(p, post); !e.empty()) fail(e);
+
+  // Property 2: pinned invariance per pass kind.
+  switch (pass) {
+    case Pass::Split:
+    case Pass::Distribute: {
+      if (!pre_parallel) break;
+      // Pieces replace the loop in place: ranks rank..rank+delta.
+      int delta = count_var(all_loops(p), var) - pre_var_count;
+      for (int k = 0; k <= delta; ++k) {
+        const LoopVerdict* lv = post.find(var, rank + k);
+        if (!lv || lv->verdict != Verdict::Parallel)
+          fail("piece DO " + var + " #" + std::to_string(rank + k) +
+               " of a parallel loop is not parallel\n" + post.to_string());
+      }
+      break;
+    }
+    case Pass::Interchange: {
+      if (!assert_interchange) break;
+      const LoopVerdict* lo = post.find(var, rank);
+      const LoopVerdict* li = post.find(inner_var, inner_rank);
+      if (!lo || lo->verdict != Verdict::Parallel || !li ||
+          li->verdict != Verdict::Parallel)
+        fail("interchange of two parallel loops lost parallelism\n" +
+             post.to_string());
+      break;
+    }
+    case Pass::Stripmine:
+    case Pass::Other:
+      break;  // only property 1 is guaranteed for these
+  }
+  return true;
+}
+
+TEST(CertifyFuzz, VerdictsSurviveSemanticsPreservingTransforms) {
+  constexpr int kTarget = 100;   // committed pipelines across the campaign
+  constexpr int kMaxSeeds = 64;  // hard stop even if the commit rate dips
+  constexpr int kRounds = 3;
+  constexpr int kSteps = 5;
+
+  std::atomic<int> committed{0};
+  std::atomic<int> next_seed{0};
+  std::mutex mu;
+  std::vector<std::string> failures;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned n_workers = std::min<unsigned>(hw == 0 ? 4 : hw, 16);
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (unsigned w = 0; w < n_workers; ++w) {
+    pool.emplace_back([&] {
+      for (int seed = next_seed.fetch_add(1);
+           seed < kMaxSeeds && committed.load() < kTarget;
+           seed = next_seed.fetch_add(1)) {
+        Gen gen(static_cast<std::uint64_t>(seed) * 7919 + 17);
+        std::vector<std::string> local;
+        for (int round = 0; round < kRounds && local.empty(); ++round) {
+          Program p = gen.program();
+          const std::string tag = "seed " + std::to_string(seed) + " round " +
+                                  std::to_string(round);
+          if (std::string e = race_agreement(p, certify(p)); !e.empty()) {
+            local.push_back(tag + " (pristine): " + e);
+            break;
+          }
+          pm::PipelineContext ctx(p);
+          for (int step = 0; step < kSteps && local.empty(); ++step)
+            if (mutate_and_check(gen, ctx, local, tag)) ++committed;
+        }
+        if (!local.empty()) {
+          std::lock_guard<std::mutex> lock(mu);
+          failures.insert(failures.end(), local.begin(), local.end());
+          return;  // one reproducer per worker is enough
+        }
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+
+  for (const auto& f : failures) ADD_FAILURE() << f;
+  EXPECT_GE(committed.load(), kTarget)
+      << "campaign too small to be meaningful";
+}
+
+TEST(CertifyFuzz, KernelCorpusStaysRaceFreeUnderBlocking) {
+  // The paper's kernels through the blocking-oriented pipelines the
+  // pass-manager driver actually emits: every intermediate program must
+  // keep certifier/race-checker agreement.
+  struct Case {
+    Program prog;
+    std::string spec;
+  };
+  std::vector<Case> cases;
+  cases.push_back({blk::kernels::lu_point_ir(),
+                   "focus(var=K, index=0); stripmine(b=4)"});
+  cases.push_back({blk::kernels::lu_point_ir(),
+                   "focus(var=J, index=0); stripmine(b=8)"});
+  cases.push_back({blk::kernels::conv_ir(),
+                   "focus(var=I, index=0); stripmine(b=4)"});
+  cases.push_back({blk::kernels::matmul_guarded_ir(),
+                   "focus(var=I, index=0); interchange"});
+  cases.push_back({blk::kernels::matmul_guarded_ir(),
+                   "focus(var=J, index=0); stripmine(b=4)"});
+  cases.push_back({blk::kernels::sum_example_ir(),
+                   "focus(var=J, index=0); interchange"});
+  cases.push_back({blk::kernels::sum_example_ir(),
+                   "focus(var=I, index=0); stripmine(b=4)"});
+  cases.push_back({blk::kernels::givens_qr_ir(),
+                   "focus(var=K, index=0); stripmine(b=4)"});
+
+  for (auto& [prog, spec] : cases) {
+    ASSERT_EQ("", race_agreement(prog, certify(prog)))
+        << "pristine kernel, spec " << spec;
+    pm::PipelineContext ctx(prog);
+    try {
+      (void)pm::run_pipeline(pm::parse_pipeline(spec), ctx);
+    } catch (const blk::Error&) {
+      continue;  // legality refused; nothing new to check
+    }
+    EXPECT_EQ("", race_agreement(prog, certify(prog))) << "after " << spec;
+  }
+}
+
+}  // namespace
+}  // namespace blk::sa

@@ -1,0 +1,160 @@
+// Dataflow framework: region lattice, subtree summaries, engine fixpoint.
+#include <gtest/gtest.h>
+
+#include "ir/builder.hpp"
+#include "kernels/ir_kernels.hpp"
+#include "sa/dataflow.hpp"
+
+namespace blk::sa {
+namespace {
+
+using namespace blk::ir;
+using namespace blk::ir::dsl;
+using analysis::Assumptions;
+using analysis::Section;
+
+Section sec(const std::string& array, IExprPtr lb, IExprPtr ub) {
+  Section s;
+  s.array = array;
+  s.dims.push_back({.lb = std::move(lb), .ub = std::move(ub)});
+  return s;
+}
+
+Region reg(Section s) {
+  Region r;
+  r.array = s.array;
+  r.section = std::move(s);
+  r.analyzable = true;
+  return r;
+}
+
+TEST(RegionSet, AddDeduplicatesProvablyEqualSections) {
+  RegionSet set;
+  EXPECT_TRUE(set.add(reg(sec("A", c(1), v("N")))));
+  EXPECT_FALSE(set.add(reg(sec("A", c(1), v("N")))));
+  EXPECT_EQ(set.sections().size(), 1u);
+}
+
+TEST(RegionSet, TopAbsorbsEverything) {
+  RegionSet set;
+  Region unanalyzable;
+  unanalyzable.array = "A";
+  EXPECT_TRUE(set.add(unanalyzable));
+  EXPECT_TRUE(set.is_top());
+  EXPECT_FALSE(set.add(reg(sec("A", c(1), c(2)))));
+
+  Assumptions ctx;
+  EXPECT_TRUE(set.may_overlap(sec("A", c(5), c(6)), ctx));
+  EXPECT_FALSE(set.covers(sec("A", c(5), c(6)), ctx));
+}
+
+TEST(RegionSet, CoversAndOverlapVerdicts) {
+  RegionSet set;
+  Assumptions ctx;
+  ctx.assert_ge(v("N"), c(10));
+  set.add(reg(sec("A", c(1), v("N"))));
+  EXPECT_TRUE(set.covers(sec("A", c(2), c(5)), ctx));
+  EXPECT_TRUE(set.may_overlap(sec("A", c(3), c(4)), ctx));
+  // Beyond the upper bound: disjointness is provable, coverage is not.
+  EXPECT_FALSE(set.covers(sec("A", v("N") + 1, v("N") + 2), ctx));
+  EXPECT_FALSE(set.may_overlap(sec("A", v("N") + 1, v("N") + 2), ctx));
+}
+
+TEST(RegionState, JoinAccumulates) {
+  RegionState a, b;
+  a.add_write(reg(sec("A", c(1), c(2))));
+  b.add_write(reg(sec("A", c(5), c(6))));
+  EXPECT_TRUE(a.join(b));
+  EXPECT_FALSE(a.join(b));  // already included
+  ASSERT_NE(a.writes("A"), nullptr);
+  EXPECT_EQ(a.writes("A")->sections().size(), 2u);
+}
+
+TEST(Summarize, LoopSubtreeExpandsInternalLoopsOnly) {
+  // DO K / DO I=K+1,N: A(I,K) = ... — summarizing the I loop with K
+  // enclosing leaves K symbolic and sweeps I.
+  Program p = blk::kernels::lu_point_ir();
+  Loop& k = p.body[0]->as_loop();
+  Stmt& iloop = *k.body[0];
+  std::vector<Loop*> enclosing{&k};
+  Assumptions ctx;
+  ctx.add_loop_range(k);
+  StmtFacts facts = summarize_stmt(p, iloop,
+                                   std::span<Loop* const>(enclosing), ctx);
+  ASSERT_EQ(facts.writes.size(), 1u);
+  EXPECT_EQ(facts.writes[0].section.to_string(), "A(K+1:N,K:K)");
+  EXPECT_TRUE(facts.writes[0].analyzable);
+  // K+1 <= N is provable from K's range, so the loop must execute.
+  EXPECT_TRUE(facts.must_execute);
+  // Reads: A(I,K) and the pivot A(K,K).
+  EXPECT_EQ(facts.reads.size(), 2u);
+}
+
+TEST(Summarize, GuardedWritesAreMarked) {
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             when(cmp(a("B", {v("I")}), CmpOp::GT, f(0.0)),
+                  assign(lv("A", {v("I")}), f(1.0)))));
+  Assumptions ctx;
+  StmtFacts facts = summarize_stmt(p, *p.body[0], {}, ctx);
+  ASSERT_EQ(facts.writes.size(), 1u);
+  EXPECT_TRUE(facts.writes[0].guarded);
+}
+
+TEST(Engine, ReadsSeeWritesFromEarlierIterations) {
+  // DO I: B(I) = A(I); A(I) = ... — at the reporting pass the A(I) read
+  // must see the loop's own writes (earlier-iteration visibility).
+  Program p;
+  p.param("N");
+  p.array("A", {v("N")});
+  p.array("B", {v("N")});
+  p.add(loop("I", c(1), v("N"),
+             assign(lv("B", {v("I")}), a("A", {v("I")})),
+             assign(lv("A", {v("I")}), a("B", {v("I")}) + f(1.0))));
+
+  struct Probe : Checker {
+    bool saw_a_read = false;
+    bool a_writes_visible = false;
+    void on_read(const Region& r, const RegionState& st,
+                 const Assumptions&) override {
+      if (r.array != "A") return;
+      saw_a_read = true;
+      a_writes_visible = st.writes("A") != nullptr;
+    }
+  } probe;
+  Checker* list[] = {&probe};
+  run_dataflow(p, list);
+  EXPECT_TRUE(probe.saw_a_read);
+  EXPECT_TRUE(probe.a_writes_visible);
+}
+
+TEST(Engine, SequenceFactsCarryLintStylePaths) {
+  Program p = blk::kernels::lu_point_ir();
+  struct Probe : Checker {
+    std::vector<std::string> paths;
+    void on_sequence(std::span<const StmtFacts> children,
+                     const Assumptions&) override {
+      for (const auto& c : children) paths.push_back(c.path);
+    }
+  } probe;
+  Checker* list[] = {&probe};
+  run_dataflow(p, list);
+  bool found = false;
+  for (const auto& path : probe.paths)
+    if (path == "DO K > DO J > DO I") found = true;
+  EXPECT_TRUE(found) << "sequence paths missing the nested loop";
+}
+
+TEST(ExpandOver, SweepsTriangularBounds) {
+  Loop i("I", iconst(1), ivar("N"), iconst(1));
+  std::vector<Loop*> loops{&i};
+  Section s = sec("A", v("I"), v("I") + 2);
+  Section e = expand_over(s, std::span<Loop* const>(loops));
+  EXPECT_EQ(e.to_string(), "A(1:N+2)");
+}
+
+}  // namespace
+}  // namespace blk::sa

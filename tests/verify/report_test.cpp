@@ -1,0 +1,61 @@
+// Report canonicalization: stable order and deduplication (the contract
+// that makes lint output diff-able in CI).
+#include <gtest/gtest.h>
+
+#include "verify/diagnostic.hpp"
+
+namespace blk::verify {
+namespace {
+
+TEST(Report, CanonicalizeSortsByPathThenCodeThenSubscript) {
+  Report rep;
+  rep.add(Severity::Warning, "zzz", "later code", "DO K > S1");
+  rep.add(Severity::Error, "aaa", "earlier code", "DO K > S1");
+  rep.add(Severity::Note, "mmm", "earlier path", "DO A > S0");
+  rep.add(Severity::Error, "aaa", "subscript 2", "DO K > S1", 2);
+  rep.add(Severity::Error, "aaa", "subscript 1", "DO K > S1", 1);
+  rep.canonicalize();
+
+  ASSERT_EQ(rep.diags.size(), 5u);
+  EXPECT_EQ(rep.diags[0].where, "DO A > S0");
+  EXPECT_EQ(rep.diags[1].code, "aaa");
+  EXPECT_EQ(rep.diags[1].subscript, 0);
+  EXPECT_EQ(rep.diags[2].subscript, 1);
+  EXPECT_EQ(rep.diags[3].subscript, 2);
+  EXPECT_EQ(rep.diags[4].code, "zzz");
+}
+
+TEST(Report, CanonicalizeDropsDuplicatesKeepingMostSevere) {
+  Report rep;
+  rep.add(Severity::Warning, "oob-subscript", "warned once", "DO I > S", 1);
+  rep.add(Severity::Error, "oob-subscript", "errored once", "DO I > S", 1);
+  rep.add(Severity::Warning, "oob-subscript", "warned twice", "DO I > S", 1);
+  rep.canonicalize();
+
+  ASSERT_EQ(rep.diags.size(), 1u);
+  EXPECT_EQ(rep.diags[0].severity, Severity::Error);
+  EXPECT_EQ(rep.diags[0].message, "errored once");
+}
+
+TEST(Report, CanonicalizeIsIdempotent) {
+  Report rep;
+  rep.add(Severity::Error, "b", "m1", "p1");
+  rep.add(Severity::Error, "a", "m2", "p2");
+  rep.canonicalize();
+  Report again = rep;
+  again.canonicalize();
+  ASSERT_EQ(rep.diags.size(), again.diags.size());
+  for (std::size_t i = 0; i < rep.diags.size(); ++i)
+    EXPECT_EQ(rep.diags[i].code, again.diags[i].code);
+}
+
+TEST(Report, DifferentSubscriptsAreNotDuplicates) {
+  Report rep;
+  rep.add(Severity::Error, "oob-subscript", "dim 1", "DO I > S", 1);
+  rep.add(Severity::Error, "oob-subscript", "dim 2", "DO I > S", 2);
+  rep.canonicalize();
+  EXPECT_EQ(rep.diags.size(), 2u);
+}
+
+}  // namespace
+}  // namespace blk::verify

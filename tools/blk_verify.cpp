@@ -7,10 +7,13 @@
 //                   `lhs<=rhs` or `lhs>=rhs` over parameters and integer
 //                   literals (e.g. --assume 'N>=1', --assume 'KS<=N')
 //   --pedantic      also report what could not be proven (notes)
+//   --Werror        treat warnings as failures (exit 1)
 //   --quiet         print nothing, just set the exit status
 //
-// Exit status: 0 when the program lints clean of errors (warnings and
-// notes allowed), 1 on lint errors, 2 on usage/compile failures.
+// Exit status (shared with blk-lint): 0 when every file lints clean of
+// errors (warnings allowed unless --Werror), 1 on warnings under
+// --Werror, 2 on lint errors / unreadable input / compile failures, 3 on
+// usage errors.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -39,33 +42,40 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   blk::analysis::Assumptions ctx;
   bool pedantic = false;
+  bool werror = false;
   bool quiet = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--pedantic") {
       pedantic = true;
+    } else if (arg == "--Werror") {
+      werror = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--assume") {
       if (i + 1 >= argc) {
         std::cerr << "blk-verify: --assume needs an argument\n";
-        return 2;
+        return 3;
       }
       try {
         blk::pm::add_fact(ctx, argv[++i]);
       } catch (const std::exception& e) {
         std::cerr << "blk-verify: " << e.what() << "\n";
-        return 2;
+        return 3;
       }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: blk-verify [--assume FACT]... [--pedantic] "
-                   "[--quiet] [file.f ...]\n";
+                   "[--Werror] [--quiet] [file.f ...]\n"
+                   "exit status: 0 clean (warnings allowed unless "
+                   "--Werror), 1 warnings\n"
+                   "under --Werror, 2 lint/compile errors, 3 usage "
+                   "errors\n";
       return 0;
     } else if (arg.size() > 1 && arg[0] == '-') {
       std::cerr << "blk-verify: unknown option '" << arg
                 << "' (see --help)\n";
-      return 2;
+      return 3;
     } else {
       files.push_back(std::move(arg));
     }
@@ -73,6 +83,7 @@ int main(int argc, char** argv) {
   if (files.empty()) files.emplace_back("-");
 
   bool any_error = false;
+  bool any_warning = false;
   for (const std::string& file : files) {
     std::string source;
     if (file == "-") {
@@ -105,6 +116,9 @@ int main(int argc, char** argv) {
                 << report.warning_count() << " warning(s)\n";
     }
     any_error = any_error || !report.ok();
+    any_warning = any_warning || report.warning_count() > 0;
   }
-  return any_error ? 1 : 0;
+  if (any_error) return 2;
+  if (any_warning && werror) return 1;
+  return 0;
 }
