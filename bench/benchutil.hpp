@@ -63,17 +63,26 @@ struct HostInfo {
 
 /// Machine-readable result sink, opt-in via `--bench_json=<path>`.
 ///
-/// Schema 2: one object {"schema": 2, "host": {compiler, flags, cpu,
-/// cores}, <extras>, "rows": [{benchmark, seconds, speedup_vs_baseline}]}
-/// — speedup is null for baseline rows, extras are raw JSON values added
-/// with extra() (e.g. the native engine's compile/cache stats).  CI
-/// uploads these files as artifacts so perf history survives the run.
+/// Schema 3: one object {"schema": 3, "host": {compiler, flags, cpu,
+/// cores, threads, parallel}, <extras>, "rows": [{benchmark, seconds,
+/// speedup_vs_baseline}]} — speedup is null for baseline rows, extras are
+/// raw JSON values added with extra() (e.g. the native engine's
+/// compile/cache stats).  `threads` is how many threads the run was
+/// allowed (defaults to the core count) and `parallel` whether any
+/// benchmark executed a parallel plan — schema 2 files, which lack both
+/// fields, remain readable by treating them as cores/false.  CI uploads
+/// these files as artifacts so perf history survives the run.
 class JsonWriter {
  public:
   /// `path` may be empty (writer disabled).
   explicit JsonWriter(std::string path) : path_(std::move(path)) {}
 
   [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  /// Thread budget recorded in the host block (default: core count).
+  void set_threads(unsigned n) { threads_ = n; }
+  /// Whether any benchmark in this report ran a parallel plan.
+  void set_parallel(bool on) { parallel_ = on; }
 
   void row(const std::string& benchmark, double seconds,
            double speedup_vs_baseline = -1.0) {
@@ -95,13 +104,15 @@ class JsonWriter {
       return false;
     }
     const HostInfo h = host_info();
-    std::fprintf(f, "{\n  \"schema\": 2,\n");
+    std::fprintf(f, "{\n  \"schema\": 3,\n");
     std::fprintf(f,
                  "  \"host\": {\"compiler\": \"%s\", \"flags\": \"%s\", "
-                 "\"cpu\": \"%s\", \"cores\": %u},\n",
+                 "\"cpu\": \"%s\", \"cores\": %u, \"threads\": %u, "
+                 "\"parallel\": %s},\n",
                  json_escape(h.compiler).c_str(),
                  json_escape(h.flags).c_str(), json_escape(h.cpu).c_str(),
-                 h.cores);
+                 h.cores, threads_ ? threads_ : h.cores,
+                 parallel_ ? "true" : "false");
     for (const auto& [key, raw] : extras_)
       std::fprintf(f, "  \"%s\": %s,\n", json_escape(key).c_str(),
                    raw.c_str());
@@ -142,6 +153,8 @@ class JsonWriter {
   std::string path_;
   std::vector<Row> rows_;
   std::vector<std::pair<std::string, std::string>> extras_;
+  unsigned threads_ = 0;  ///< 0: report the core count
+  bool parallel_ = false;
 };
 
 /// Pull `--bench_json=<path>` out of argv (google-benchmark rejects flags

@@ -334,10 +334,11 @@ const char* to_string(Engine e) {
 /// contract, and syncs scalars back after each run (VM semantics).
 class NativeRunner {
  public:
-  NativeRunner(const ir::Program& program, ir::Env params)
+  NativeRunner(const ir::Program& program, ir::Env params,
+               const ir::ParallelOptions* parallel)
       : params_(std::move(params)),
         store_(make_store(program, params_)),
-        kernel_(program) {
+        kernel_(program, "blk_kernel", nullptr, parallel) {
     param_vals_.reserve(kernel_.param_names().size());
     for (const auto& name : kernel_.param_names()) {
       auto it = params_.find(name);
@@ -377,8 +378,8 @@ class NativeRunner {
 };
 
 ExecEngine::ExecEngine(const ir::Program& program, ir::Env params,
-                       Engine engine)
-    : engine_(engine) {
+                       Engine engine, const ir::ParallelOptions* parallel) {
+  engine_ = engine;
   if (engine_ == Engine::Native && !native::available())
     engine_ = Engine::Vm;  // fallback policy: no toolchain -> VM
   switch (engine_) {
@@ -389,7 +390,8 @@ ExecEngine::ExecEngine(const ir::Program& program, ir::Env params,
       vm_ = std::make_unique<Vm>(program, std::move(params));
       break;
     case Engine::Native:
-      nat_ = std::make_unique<NativeRunner>(program, std::move(params));
+      nat_ = std::make_unique<NativeRunner>(program, std::move(params),
+                                            parallel);
       break;
   }
 }

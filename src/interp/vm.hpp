@@ -17,6 +17,7 @@
 #include "interp/compile.hpp"
 #include "interp/interp.hpp"
 #include "interp/trace.hpp"
+#include "ir/codegen.hpp"
 
 namespace blk::interp {
 
@@ -79,8 +80,14 @@ class NativeRunner;  // vm.cpp: native::Kernel bound to a Store
 /// overloads throw; statements_executed() is 0).
 class ExecEngine {
  public:
+  /// `parallel` (Native only) is the certified parallel plan forwarded to
+  /// native::Kernel; it is copied, so callers may let theirs die.  The
+  /// tree-walker and VM ignore it — they have no threads to give — and
+  /// the silent-fallback path therefore runs the plan serially, which is
+  /// semantically identical by construction.
   ExecEngine(const ir::Program& program, ir::Env params,
-             Engine engine = Engine::Vm);
+             Engine engine = Engine::Vm,
+             const ir::ParallelOptions* parallel = nullptr);
   ~ExecEngine();
   ExecEngine(ExecEngine&&) noexcept;
   ExecEngine& operator=(ExecEngine&&) noexcept;

@@ -7,11 +7,51 @@
 // function and compiled by the host toolchain.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ir/program.hpp"
 
 namespace blk::ir {
+
+/// One loop the emitter may run across threads.  Loops are named
+/// positionally — `var` plus the pre-order occurrence index among loops
+/// with that variable — matching sa::CertifyResult::find, so a plan built
+/// from certification verdicts survives the Loop* invalidation that later
+/// cloning causes.  The emitter trusts the plan: building one is the
+/// certifier's job (the pm `parallelize(check)` pass), never the
+/// emitter's.
+struct ParallelLoop {
+  std::string var;
+  int occurrence = 0;  ///< n-th loop (pre-order) with this variable
+
+  /// Reduction lowering: thread-local partials per accumulator, combined
+  /// in fixed tid order after the join (tid 0's partial is seeded with the
+  /// accumulator's incoming value, every other with the identity), so a
+  /// given thread count always produces the same bits and one thread
+  /// reproduces the serial kernel exactly.
+  bool reduction = false;
+  enum class Combine : std::uint8_t { Sum, Product };
+  Combine combine = Combine::Sum;
+  std::vector<std::string> accumulators;  ///< scalar names (Reduction only)
+};
+
+/// The parallel execution plan threaded into emit_c.  An empty `loops`
+/// plan emits the ordinary serial kernel.
+struct ParallelOptions {
+  /// Worker count: > 0 bakes a fixed count into the kernel; 0 defers to
+  /// runtime ($BLK_THREADS, else the online CPU count).  Either way the
+  /// strategy is part of the emitted source, so serial and parallel
+  /// variants (and different fixed counts) get distinct cache keys.
+  int threads = 0;
+  std::vector<ParallelLoop> loops;
+
+  [[nodiscard]] bool enabled() const { return !loops.empty(); }
+  /// One-line rendering ("threads=4 loops=[J#0 red(sum:S)@I#0]") stamped
+  /// into the emitted source header — the cache-key salt.
+  [[nodiscard]] std::string summary() const;
+};
 
 /// Emission knobs for consumers beyond the human-readable default.  The
 /// native JIT engine (src/native/) uses both: `scalar_io` makes scalar
@@ -33,6 +73,13 @@ struct EmitOptions {
   /// forwarding to <fn_name> with parameters in declaration order and
   /// arrays in name order — the uniform ABI the JIT dlsyms.
   bool entry_wrapper = false;
+  /// When non-null and enabled(), each planned loop is outlined and run
+  /// on a persistent pthread pool with a deterministic fixed partition of
+  /// its iteration space (contiguous chunks in tid order).  Non-reduction
+  /// loops are bit-identical to the serial kernel at any thread count;
+  /// reductions are bit-identical at one thread and bit-stable across
+  /// runs at any fixed count.  The emitted unit then needs -pthread.
+  const ParallelOptions* parallel = nullptr;
 };
 
 /// Emit `p` as a standalone C99 translation unit defining

@@ -172,4 +172,18 @@ Program givens_qr_ir() {
   return p;
 }
 
+Program stencil2d_ir() {
+  Program p;
+  p.param("N");
+  p.array_bounds("A", {{.lb = c(0), .ub = v("N")},
+                       {.lb = c(0), .ub = v("N")}});
+  p.add(loop("I", c(1), v("N"),
+             loop("J", c(1), v("N"),
+                  assign(lv("A", {v("I"), v("J")}),
+                         f(0.25) * (a("A", {v("I") - c(1), v("J")}) +
+                                    a("A", {v("I"), v("J") - c(1)})),
+                         10))));
+  return p;
+}
+
 }  // namespace blk::kernels

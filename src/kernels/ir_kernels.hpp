@@ -53,4 +53,11 @@ namespace blk::kernels {
 /// §5.4 QR decomposition with Givens rotations (Fig. 9).
 [[nodiscard]] ir::Program givens_qr_ir();
 
+/// §14 wavefront stencil: a Gauss-Seidel-style 2-D sweep whose loop-carried
+/// dependences (A(I-1,J) and A(I,J-1)) serialize both loops as written.
+/// Skewing J by I and interchanging exposes a parallel inner wavefront:
+///   DO I = 1,N / DO J = 1,N / A(I,J) = 0.25*(A(I-1,J) + A(I,J-1))
+/// A is dimensioned (0:N,0:N) so the halo reads stay in bounds.
+[[nodiscard]] ir::Program stencil2d_ir();
+
 }  // namespace blk::kernels

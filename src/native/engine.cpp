@@ -54,7 +54,7 @@ void record_run(const std::string& key, double seconds) {
 }  // namespace
 
 Kernel::Kernel(const ir::Program& p, const std::string& fn_name,
-               KernelCache* cache) {
+               KernelCache* cache, const ir::ParallelOptions* parallel) {
   const Toolchain* tc = toolchain();
   if (!tc)
     throw Error(
@@ -66,7 +66,9 @@ Kernel::Kernel(const ir::Program& p, const std::string& fn_name,
   for (const auto& sc : p.scalars()) scalar_names_.push_back(sc);
 
   source_ = ir::emit_c(p, fn_name,
-                       {.scalar_io = true, .entry_wrapper = true});
+                       {.scalar_io = true,
+                        .entry_wrapper = true,
+                        .parallel = parallel});
   KernelCache& kc = cache ? *cache : default_cache();
   CompileOutcome out = kc.get_or_compile(source_, *tc);
   so_path_ = out.so_path;

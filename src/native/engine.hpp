@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "ir/codegen.hpp"
 #include "ir/program.hpp"
 #include "native/cache.hpp"
 #include "native/jit.hpp"
@@ -45,11 +46,18 @@ struct KernelTimings {
 /// One compiled program.  Construction emits C, compiles (or reuses the
 /// cached object) and resolves the entry point; throws blk::Error when no
 /// toolchain is available or compilation fails.
+///
+/// A non-null `parallel` plan with loops makes the emitted C run those
+/// loops on the in-kernel thread pool (see ir::EmitOptions::parallel).
+/// The plan's summary is stamped into the source header, so serial and
+/// parallel variants of the same program — and different thread-count
+/// strategies — occupy distinct cache entries and coexist on disk.
 class Kernel {
  public:
   explicit Kernel(const ir::Program& p,
                   const std::string& fn_name = "blk_kernel",
-                  KernelCache* cache = nullptr);
+                  KernelCache* cache = nullptr,
+                  const ir::ParallelOptions* parallel = nullptr);
 
   /// Invoke the compiled code.  `params` / `arrays` / `scalars` follow
   /// the declaration-order contract above; the scalar block is read at

@@ -41,10 +41,23 @@ const Probe& probe() {
     if (r.tc.version.empty()) return r;  // no usable compiler
     // -ffp-contract=off keeps a*b+c as two IEEE operations so native
     // results stay bit-identical to the VM even with -march=native FMA.
-    r.tc.flags = {"-O2", "-fPIC", "-shared", "-ffp-contract=off"};
+    // -pthread is unconditional: serial kernels ignore it and parallel
+    // kernels (EmitOptions::parallel) link their fork-join pool with it.
+    r.tc.flags = {"-O2", "-fPIC", "-shared", "-ffp-contract=off",
+                  "-pthread"};
     const char* march = std::getenv("BLK_NATIVE_MARCH");
     if (march && *march)
       r.tc.flags.push_back(std::string("-march=") + march);
+    // Extra flags for the emitted kernels themselves (e.g. CI compiles
+    // them with -fsanitize=thread so TSAN sees into the pool).  Folded
+    // into Toolchain::id(), so instrumented objects never alias clean
+    // cache entries.
+    if (const char* extra = std::getenv("BLK_NATIVE_EXTRA_CFLAGS");
+        extra && *extra) {
+      std::istringstream is(extra);
+      std::string flag;
+      while (is >> flag) r.tc.flags.push_back(flag);
+    }
     r.ok = true;
     return r;
   }();

@@ -35,7 +35,10 @@ struct Toolchain {
 /// compiler is on PATH.  `$BLK_NATIVE_CC` overrides the compiler,
 /// `$BLK_NATIVE_MARCH=native` opts into -march=native (the default flag
 /// set keeps -ffp-contract=off either way, so native results stay
-/// bit-identical to the VM even on FMA hardware).
+/// bit-identical to the VM even on FMA hardware), and
+/// `$BLK_NATIVE_EXTRA_CFLAGS` appends whitespace-separated flags (CI uses
+/// it to build emitted kernels with -fsanitize=thread).  Every knob is
+/// part of Toolchain::id() and therefore of the kernel-cache key.
 [[nodiscard]] const Toolchain* toolchain();
 
 /// True when toolchain() is usable (and not suppressed for testing).

@@ -26,6 +26,7 @@
 #include "analysis/assume.hpp"
 #include "analysis/manager.hpp"
 #include "cachesim/cache.hpp"
+#include "ir/codegen.hpp"
 #include "ir/program.hpp"
 #include "model/model.hpp"
 #include "sa/certify.hpp"
@@ -135,6 +136,14 @@ struct PipelineContext {
   /// (pre-order over the program at the time the stage ran; later
   /// structural passes invalidate the `loop` pointers, not the labels).
   std::vector<sa::LoopVerdict> verdicts;
+
+  /// The certified parallel plan built by the `parallelize` stage: which
+  /// loops the native backend may run multithreaded, and how reductions
+  /// combine.  Consumers (blk-opt, benches) hand it to native::Kernel /
+  /// interp::ExecEngine; it is only valid for the program shape as of
+  /// that stage — structural passes after `parallelize` invalidate the
+  /// pre-order loop coordinates inside.
+  std::optional<ir::ParallelOptions> parallel;
 
   /// Per-stage reporting: a stage that decides to no-op (e.g. distribute
   /// after a not-distributable split) sets these; the runner resets them

@@ -1,7 +1,10 @@
 // The pass registry: every transform primitive and composite driver,
 // with typed options.  This is the single catalogue the spec parser
 // validates against and `blk-opt --print-registry` prints.
+#include <map>
+#include <set>
 #include <utility>
+#include <vector>
 
 #include "ir/error.hpp"
 #include "pm/drivers.hpp"
@@ -10,6 +13,7 @@
 #include "transform/ifinspect.hpp"
 #include "transform/interchange.hpp"
 #include "transform/scalarrepl.hpp"
+#include "transform/skew.hpp"
 #include "transform/split.hpp"
 #include "transform/unrolljam.hpp"
 
@@ -38,6 +42,56 @@ Loop* nth_loop(StmtList& body, const std::string& var, long& index) {
     }
   }
   return nullptr;
+}
+
+/// Every scalar assigned anywhere under `body`.
+void written_scalars(const StmtList& body, std::set<std::string>& out) {
+  for (const auto& s : body) {
+    switch (s->kind()) {
+      case SKind::Assign: {
+        const Assign& a = s->as_assign();
+        if (!a.lhs.is_array()) out.insert(a.lhs.name);
+        break;
+      }
+      case SKind::Loop:
+        written_scalars(s->as_loop().body, out);
+        break;
+      case SKind::If:
+        written_scalars(s->as_if().then_body, out);
+        written_scalars(s->as_if().else_body, out);
+        break;
+    }
+  }
+}
+
+/// True when `sc` has an unconditional top-level assignment in the loop's
+/// direct body — the condition under which the parallel backend's
+/// last-chunk write-back reproduces serial last-value semantics (every
+/// iteration overwrites the scalar, so the value after the final chunk is
+/// the value after the final iteration).
+bool unconditionally_assigned(const Loop& l, const std::string& sc) {
+  for (const auto& s : l.body)
+    if (s->kind() == SKind::Assign && !s->as_assign().lhs.is_array() &&
+        s->as_assign().lhs.name == sc)
+      return true;
+  return false;
+}
+
+/// Split "S, T" into {"S", "T"} (the certifier comma-joins multiple
+/// accumulators into one string).
+std::vector<std::string> split_accumulators(const std::string& acc) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : acc) {
+    if (ch == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (ch != ' ') {
+      cur += ch;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
 }
 
 }  // namespace
@@ -301,6 +355,97 @@ Registry::Registry() {
          ctx.stage_note = std::to_string(np) + " parallel, " +
                           std::to_string(nr) + " reduction, " +
                           std::to_string(ns) + " serial";
+       }});
+
+  add({.name = "skew",
+       .doc = "skew the target 2-nest's inner loop by f (unimodular "
+              "wavefront preparation; compose with interchange to expose "
+              "the parallel inner loop)",
+       .options = {{.name = "f", .kind = OptKind::Int,
+                    .doc = "skew factor (default 1)"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         ir::Loop& inner =
+             transform::skew(ctx.prog, ctx.target(), inv.int_or("f", 1));
+         ctx.stage_note = "inner -> DO " + inner.var;
+       }});
+
+  add({.name = "parallelize",
+       .doc = "build the certified parallel plan the native backend "
+              "executes: certify every loop, select the outermost "
+              "parallel / scalar sum-product reduction levels, and record "
+              "ir::ParallelOptions in the context; with check, first "
+              "re-verify each parallel label by independent section "
+              "overlap and fail the pipeline on disagreement",
+       .options = {{.name = "check", .kind = OptKind::Flag,
+                    .doc = "run the independent write-write race re-check"},
+                   {.name = "threads", .kind = OptKind::Int,
+                    .doc = "fixed thread count baked into the plan "
+                           "(default 0: $BLK_THREADS else online CPUs)"}},
+       .run = [](PipelineContext& ctx, const PassInvocation& inv) {
+         sa::CertifyResult r = sa::certify(ctx.prog, {.ctx = &ctx.hints});
+         if (inv.flag("check")) {
+           verify::Report races = sa::check_races(ctx.prog, r, &ctx.hints);
+           if (!races.diags.empty())
+             throw Error("parallelize: race re-check disagrees: " +
+                         races.diags.front().message);
+         }
+
+         ir::ParallelOptions plan;
+         plan.threads = static_cast<int>(inv.int_or("threads", 0));
+         std::map<std::string, int> occ;
+         int selected_depth = -1;  // skip descendants of a selected loop
+         for (const auto& lv : r.loops) {
+           const int occurrence = occ[lv.var]++;
+           if (selected_depth >= 0 && lv.depth > selected_depth) continue;
+           selected_depth = -1;
+
+           ir::ParallelLoop pl;
+           pl.var = lv.var;
+           pl.occurrence = occurrence;
+           std::set<std::string> exempt;  // accumulators: combined, not
+                                          // written back last-value
+           if (lv.verdict == sa::Verdict::Reduction) {
+             if (lv.op != sa::ReduceOp::Sum &&
+                 lv.op != sa::ReduceOp::Product)
+               continue;  // min/max combine order is not bit-pinned yet
+             std::vector<std::string> accs =
+                 split_accumulators(lv.accumulator);
+             bool all_scalar = !accs.empty();
+             for (const auto& acc : accs)
+               if (acc.find('(') != std::string::npos) all_scalar = false;
+             if (!all_scalar) continue;  // array accumulators stay serial
+             pl.reduction = true;
+             pl.combine = lv.op == sa::ReduceOp::Sum
+                              ? ir::ParallelLoop::Combine::Sum
+                              : ir::ParallelLoop::Combine::Product;
+             pl.accumulators = std::move(accs);
+             for (const auto& acc : pl.accumulators) exempt.insert(acc);
+           } else if (lv.verdict != sa::Verdict::Parallel) {
+             continue;
+           }
+
+           // Privatized scalars are written back from the last chunk;
+           // that reproduces serial last-value semantics only when every
+           // iteration unconditionally overwrites them.
+           if (!lv.loop) continue;
+           std::set<std::string> written;
+           written_scalars(lv.loop->body, written);
+           bool ok = true;
+           for (const auto& sc : written)
+             if (!exempt.contains(sc) &&
+                 !unconditionally_assigned(*lv.loop, sc))
+               ok = false;
+           if (!ok) continue;
+
+           plan.loops.push_back(std::move(pl));
+           selected_depth = lv.depth;
+         }
+
+         ctx.verdicts = std::move(r.loops);
+         ctx.parallel = std::move(plan);
+         ctx.stage_note = ctx.parallel->enabled()
+                              ? "plan: " + ctx.parallel->summary()
+                              : "no parallelizable loops";
        }});
 
   // --- composite drivers ---------------------------------------------------

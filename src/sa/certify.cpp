@@ -491,9 +491,16 @@ struct Certifier {
 
 }  // namespace
 
+namespace {
+CertifyMutator g_mutator = nullptr;
+}  // namespace
+
+void set_certify_mutator_for_testing(CertifyMutator m) { g_mutator = m; }
+
 CertifyResult certify(Program& p, const CertifyOptions& opt) {
   Certifier c(p, opt);
   c.walk(p.body, 0);
+  if (g_mutator) g_mutator(c.result);
   return std::move(c.result);
 }
 

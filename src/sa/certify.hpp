@@ -65,6 +65,14 @@ struct CertifyResult {
 [[nodiscard]] CertifyResult certify(ir::Program& p,
                                     const CertifyOptions& opt = {});
 
+/// Test hook: a mutator applied to every certify() result before it is
+/// returned.  Tests sabotage verdicts (e.g. flip serial(witness) to
+/// parallel) to prove the independent race re-check catches a lying
+/// certifier.  Pass nullptr to clear.  Not thread-safe; flip only at
+/// test setup.
+using CertifyMutator = void (*)(CertifyResult&);
+void set_certify_mutator_for_testing(CertifyMutator m);
+
 /// Render verdicts as Note diagnostics (codes certify-parallel /
 /// certify-reduction / certify-serial), one per loop.
 [[nodiscard]] verify::Report verdict_report(const CertifyResult& result);

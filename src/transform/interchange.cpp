@@ -83,17 +83,44 @@ Loop& do_interchange(Loop& outer) {
 
   const bool lb_dep = mentions(*inner.lb, vo);
   const bool ub_dep = mentions(*inner.ub, vo);
-  if (lb_dep && ub_dep)
-    throw Error(
-        "interchange: both inner bounds depend on the outer variable (" +
-        vo + "); split the iteration space first");
   if (mentions(*outer.lb, vi) || mentions(*outer.ub, vi))
     throw Error("interchange: malformed nest, outer bound mentions " + vi);
 
   IExprPtr new_outer_lb, new_outer_ub;  // bounds for the vi loop (outside)
   IExprPtr new_inner_lb, new_inner_ub;  // bounds for the vo loop (inside)
 
-  if (!lb_dep && !ub_dep) {
+  if (lb_dep && ub_dep) {
+    // Both bounds depend on the outer variable — the skewed-wavefront
+    // shape.  With positive coefficients a_l, a_u the inner window
+    // [a_l*II+b_l, a_u*II+b_u] slides upward as II grows, so the J2 range
+    // of the whole nest is [a_l*L+b_l, a_u*U+b_u], and for a fixed J2 the
+    // IIs whose window contains it form the interval
+    //   [ceil((J2-b_u)/a_u), floor((J2-b_l)/a_l)]  clamped to [L, U].
+    // The two linear inequalities cut an exact interval out of [L, U]:
+    // the interchanged nest enumerates precisely the original pairs.
+    auto fl = as_affine(*inner.lb);
+    auto fu = as_affine(*inner.ub);
+    if (!fl || !fu)
+      throw Error("interchange: inner bound " +
+                  to_string(fl ? inner.ub : inner.lb) +
+                  " is not affine in " + vo +
+                  "; resolve MIN/MAX bounds before interchanging");
+    const long al = fl->coef_of(vo);
+    const long au = fu->coef_of(vo);
+    if (al <= 0 || au <= 0)
+      throw Error(
+          "interchange: both inner bounds depend on the outer variable (" +
+          vo +
+          ") with non-positive coefficients; split the iteration space "
+          "first");
+    IExprPtr bl = from_affine(*fl - Affine::variable(vo, al));
+    IExprPtr bu = from_affine(*fu - Affine::variable(vo, au));
+    IExprPtr j = ivar(vi);
+    new_outer_lb = simplify(iadd(imul(iconst(al), outer.lb), bl));
+    new_outer_ub = simplify(iadd(imul(iconst(au), outer.ub), bu));
+    new_inner_lb = imax(iceildiv(isub(j, bu), au), outer.lb);
+    new_inner_ub = imin(ifloordiv(isub(j, bl), al), outer.ub);
+  } else if (!lb_dep && !ub_dep) {
     // Rectangular: plain swap.
     new_outer_lb = inner.lb;
     new_outer_ub = inner.ub;

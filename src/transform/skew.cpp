@@ -1,0 +1,42 @@
+#include "transform/skew.hpp"
+
+#include "ir/error.hpp"
+#include "transform/instrument.hpp"
+
+namespace blk::transform {
+
+using namespace blk::ir;
+
+Loop& skew(Program& p, Loop& outer, long factor) {
+  PassScope scope("skew", p.body);
+  if (outer.body.size() != 1 || outer.body[0]->kind() != SKind::Loop)
+    throw Error("skew: loop " + outer.var +
+                " is not perfectly nested over a single inner loop");
+  Loop& inner = outer.body[0]->as_loop();
+  auto unit = [](const Loop& l) {
+    return l.step->kind == IKind::Const && l.step->value == 1;
+  };
+  if (!unit(outer) || !unit(inner))
+    throw Error("skew: both loops must have unit step");
+  if (factor == 0) throw Error("skew: factor must be nonzero");
+  if (mentions(*inner.lb, outer.var) || mentions(*inner.ub, outer.var))
+    throw Error("skew: inner bounds depend on " + outer.var +
+                "; skew needs a rectangular nest");
+  if (mentions(*outer.lb, inner.var) || mentions(*outer.ub, inner.var))
+    throw Error("skew: malformed nest, outer bound mentions " + inner.var);
+
+  const std::string nv = p.fresh_var(inner.var);
+  p.note_var(nv);
+
+  // J := J2 - f*I everywhere in the body; bounds shift by +f*I.
+  IExprPtr shift = imul(iconst(factor), ivar(outer.var));
+  substitute_index_in_list(inner.body,
+                           inner.var,
+                           simplify(isub(ivar(nv), shift)));
+  inner.lb = simplify(iadd(inner.lb, shift));
+  inner.ub = simplify(iadd(inner.ub, shift));
+  inner.var = nv;
+  return inner;
+}
+
+}  // namespace blk::transform

@@ -1,0 +1,34 @@
+// Loop skewing: the unimodular reindexing that turns a wavefront into a
+// parallel inner loop.
+//
+// Skewing by itself changes no execution order — it is a coordinate
+// change.  Its value comes from composing: a stencil whose dependences
+// are (1,0) and (0,1) has no parallel loop in either order, but after
+// skew(f=1) the dependences become (1,1) and (0,1); interchanging then
+// puts the wavefront outside, and the (now inner) loop carries nothing —
+// sa::certify re-proves it parallel and the native backend may run its
+// iterations concurrently (§14).
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace blk::transform {
+
+/// Skew the inner loop of the rectangular unit-step 2-nest rooted at
+/// `outer` by `factor`:
+///
+///   DO I = lo, hi            DO I  = lo, hi
+///     DO J = lb, ub      =>    DO J2 = lb + f*I, ub + f*I
+///       B(I, J)                  B(I, J2 - f*I)
+///
+/// The inner bounds must not mention `outer.var` (rectangular) and both
+/// steps must be 1.  Execution order is untouched — every iteration runs
+/// at the same position, under new coordinates — so the transform is
+/// trivially semantics-preserving; the translation validator treats it as
+/// a reordering (empty reordering, in fact) and re-checks dependence
+/// preservation like any other.
+///
+/// Returns the skewed inner loop (same node, new variable and bounds).
+ir::Loop& skew(ir::Program& p, ir::Loop& outer, long factor);
+
+}  // namespace blk::transform

@@ -16,7 +16,7 @@ Policy policy_for(std::string_view pass) {
       "interchange",    "distribute",
       "fuse",           "reverse",
       "unroll-and-jam", "unroll-and-jam-triangular",
-      "normalize",
+      "normalize",      "skew",
   };
   for (std::string_view name : kReordering)
     if (pass == name) return Policy::Full;

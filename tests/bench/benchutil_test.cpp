@@ -50,24 +50,27 @@ TEST(HostInfo, PopulatesTheReportMetadata) {
   EXPECT_FALSE(h.cpu.empty());
 }
 
-// The schema-2 report shape is pinned: {"schema": 2, "host": {compiler,
-// flags, cpu, cores}, <extras>, "rows": [...]}.  CI readers index
-// ["rows"]; changing this layout must break here first.
-TEST(JsonWriter, Schema2ShapeIsPinned) {
+// The schema-3 report shape is pinned: {"schema": 3, "host": {compiler,
+// flags, cpu, cores, threads, parallel}, <extras>, "rows": [...]}.  CI
+// readers index ["rows"]; changing this layout must break here first.
+TEST(JsonWriter, Schema3ShapeIsPinned) {
   std::string path =
-      std::string(::testing::TempDir()) + "/benchutil_schema2.json";
+      std::string(::testing::TempDir()) + "/benchutil_schema3.json";
   JsonWriter w(path);
   w.row("BM_Base/10", 0.5);
   w.row("BM_Fast/10", 0.25, 2.0);
   w.extra("native", "{\"compiles\": 3}");
+  w.set_threads(8);
+  w.set_parallel(true);
   ASSERT_TRUE(w.write());
 
   std::ifstream in(path);
   std::string text((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
   for (const char* needle :
-       {"\"schema\": 2", "\"host\": {\"compiler\": \"", "\"flags\": \"",
-        "\"cpu\": \"", "\"cores\": ", "\"native\": {\"compiles\": 3}",
+       {"\"schema\": 3", "\"host\": {\"compiler\": \"", "\"flags\": \"",
+        "\"cpu\": \"", "\"cores\": ", "\"threads\": 8",
+        "\"parallel\": true", "\"native\": {\"compiles\": 3}",
         "\"rows\": [", "{\"benchmark\": \"BM_Base/10\", \"seconds\": 0.5, "
         "\"speedup_vs_baseline\": null}",
         "{\"benchmark\": \"BM_Fast/10\", \"seconds\": 0.25, "
@@ -75,6 +78,23 @@ TEST(JsonWriter, Schema2ShapeIsPinned) {
     EXPECT_NE(text.find(needle), std::string::npos)
         << "missing " << needle << " in:\n" << text;
   }
+}
+
+// Serial reports (no setter calls) default the new fields to the core
+// count and false, so schema-2 era producers keep a sensible host block.
+TEST(JsonWriter, ThreadsDefaultToCoresAndParallelToFalse) {
+  std::string path =
+      std::string(::testing::TempDir()) + "/benchutil_schema3_serial.json";
+  JsonWriter w(path);
+  w.row("BM_Base/10", 0.5);
+  ASSERT_TRUE(w.write());
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const std::string threads =
+      "\"threads\": " + std::to_string(host_info().cores);
+  EXPECT_NE(text.find(threads), std::string::npos) << text;
+  EXPECT_NE(text.find("\"parallel\": false"), std::string::npos) << text;
 }
 
 TEST(JsonWriter, EscapesQuotesAndBackslashes) {

@@ -100,8 +100,32 @@ TEST(Interchange, TriangularUpperBoundNegativeSlope) {
     EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 18}}), 7);
 }
 
-TEST(Interchange, RejectsDoublyDependentBounds) {
+TEST(Interchange, BothBoundsPositiveSlope) {
+  // DO I / DO J = I, I+3: a sliding window — the shape a skewed wavefront
+  // produces.  Both coefficients are +1, so the interchange is exact.
   Program p = nest(v("I"), iadd(v("I"), c(3)));
+  Program q = p.clone();
+  interchange(q.body, q.body[0]->as_loop());
+  EXPECT_EQ(q.body[0]->as_loop().var, "J");
+  for (long n : {1L, 5L, 9L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 7}}), 2);
+}
+
+TEST(Interchange, BothBoundsUnequalSlopes) {
+  // DO I / DO J = 2*I+1, 3*I+5: distinct positive coefficients exercise
+  // the ceil/floor clamps on both sides.
+  Program p = nest(iadd(imul(c(2), v("I")), c(1)),
+                   iadd(imul(c(3), v("I")), c(5)));
+  Program q = p.clone();
+  interchange(q.body, q.body[0]->as_loop());
+  for (long n : {1L, 4L, 8L})
+    EXPECT_PROGRAMS_EQUIVALENT(p, q, (ir::Env{{"N", n}, {"M", 7}}), 2);
+}
+
+TEST(Interchange, RejectsDoublyDependentBoundsWithNegativeSlope) {
+  // lb = -I shrinks while ub = I+3 grows: the window is not monotone, the
+  // exact-interval argument fails, and the transform must refuse.
+  Program p = nest(isub(c(0), v("I")), iadd(v("I"), c(3)));
   EXPECT_THROW(interchange(p.body, p.body[0]->as_loop()), blk::Error);
 }
 

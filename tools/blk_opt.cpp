@@ -40,6 +40,16 @@
 //   --engine NAME        execution engine for --check: tree, vm (default),
 //                        or native (JIT through the C backend; falls back
 //                        to the VM when no host toolchain exists)
+//   --parallel           build the certified parallel plan (appends
+//                        "parallelize(check)" to the pipeline when absent)
+//                        and run native checks through it; each --check
+//                        then also differentially validates parallel
+//                        against serial native (bit-identical unless the
+//                        plan contains reductions); requires
+//                        --engine=native
+//   --threads N          fixed thread count for the parallel plan
+//                        (implies --parallel; default: $BLK_THREADS else
+//                        online CPUs)
 //   --keep-c DIR         write the C emitted for the original and
 //                        transformed programs to DIR/original.c and
 //                        DIR/transformed.c
@@ -52,7 +62,11 @@
 //   --quiet              suppress the pass-stat table on stderr
 //
 // Exit status: 0 success, 1 verification/check/golden failure, 2 usage or
-// compile error.
+// compile error, 3 incompatible-option usage (--threads/--parallel with a
+// non-native engine — the code blk-lint and blk-verify use for usage
+// errors, kept distinct from 2 so scripts can tell "bad invocation" from
+// "bad input").
+#include <algorithm>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -168,6 +182,36 @@ DiffSite find_max_diff(const blk::interp::Store& a,
   return best;
 }
 
+/// Run `p` serially and under `plan` on the native engine with identical
+/// seeded inputs.  Non-reduction plans must agree bitwise; reduction
+/// plans may differ by the combine order, bounded by a tight relative
+/// epsilon.  Prints a reproducer and returns false on divergence.
+bool cross_check_parallel(const blk::ir::Program& p, const blk::ir::Env& env,
+                          const std::string& bindings_label,
+                          const blk::ir::ParallelOptions& plan) {
+  blk::interp::ExecEngine ser(p, env, blk::interp::Engine::Native);
+  blk::interp::ExecEngine par(p, env, blk::interp::Engine::Native, &plan);
+  seed_inputs(ser, 0x5eed);
+  seed_inputs(par, 0x5eed);
+  ser.run();
+  par.run();
+  DiffSite site = find_max_diff(ser.store(), par.store());
+  bool has_reduction = false;
+  for (const auto& pl : plan.loops) has_reduction |= pl.reduction;
+  const double tol =
+      has_reduction
+          ? 1e-9 * std::max({std::fabs(site.va), std::fabs(site.vb), 1.0})
+          : 0.0;
+  if (site.diff <= tol) return true;
+  std::cerr << "blk-opt: --check " << bindings_label
+            << "PARALLEL DIVERGENCE (serial vs " << plan.summary()
+            << ") on the transformed program\n"
+            << "  worst element: " << site.var << " = " << site.va
+            << " (serial) vs " << site.vb
+            << " (parallel), |diff| = " << site.diff << "\n";
+  return false;
+}
+
 /// Run `p` on the VM and the native engine under identical seeded inputs;
 /// on divergence print a minimized reproducer (bindings, program, worst
 /// element) and return false.  `what` names the program in messages.
@@ -254,6 +298,8 @@ int main(int argc, char** argv) {
   long probe = 0;
   double tolerance = 0.10;
   std::string model_json_path;
+  bool parallel = false;
+  long threads = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -273,6 +319,15 @@ int main(int argc, char** argv) {
         checks.push_back(parse_bindings(need_value("--check")));
       } else if (arg == "--engine") {
         engine = blk::interp::parse_engine(need_value("--engine"));
+      } else if (arg == "--parallel") {
+        parallel = true;
+      } else if (arg == "--threads") {
+        threads = std::stol(need_value("--threads"));
+        if (threads < 0) {
+          std::cerr << "blk-opt: --threads wants a non-negative count\n";
+          return 2;
+        }
+        parallel = true;
       } else if (arg == "--keep-c") {
         keep_c_dir = need_value("--keep-c");
       } else if (arg == "--golden") {
@@ -312,6 +367,8 @@ int main(int argc, char** argv) {
                      "[--latency L1,..,MEM]\n"
                      "               [--probe N] [--tolerance PCT] "
                      "[--model_json PATH] [file.f]\n"
+                     "       blk-opt -p SPEC --engine=native --parallel "
+                     "[--threads N] [--check ...]...\n"
                      "       blk-opt --print-registry\n";
         return 0;
       } else if (arg.size() > 1 && arg[0] == '-') {
@@ -329,6 +386,13 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (parallel && engine != blk::interp::Engine::Native) {
+    // The tree-walker and VM have no threads to give; silently running
+    // the plan serially would report meaningless "parallel ok" checks.
+    std::cerr << "blk-opt: --parallel/--threads need --engine=native "
+                 "(the tree and vm engines execute serially)\n";
+    return 3;
+  }
   if (spec.empty()) {
     if (!auto_b) {
       std::cerr << "blk-opt: no pipeline (-p SPEC or --auto-b; see "
@@ -340,6 +404,8 @@ int main(int argc, char** argv) {
     if (probe > 0) spec += ", probe=" + std::to_string(probe);
     spec += "); autoblock(b=KS)";
   }
+  if (parallel && spec.find("parallelize") == std::string::npos)
+    spec += "; parallelize(check)";
   if (file.empty()) file = "-";
 
   std::string source;
@@ -388,10 +454,28 @@ int main(int argc, char** argv) {
   std::cout << printed;
   if (!quiet) print_stats(report);
 
+  // The certified plan the native checks (and --keep-c) execute under.
+  const blk::ir::ParallelOptions* plan = nullptr;
+  if (parallel) {
+    if (!ctx.parallel) {
+      std::cerr << "blk-opt: --parallel but the pipeline built no plan "
+                   "(add a parallelize stage)\n";
+      return 2;
+    }
+    if (threads > 0) ctx.parallel->threads = static_cast<int>(threads);
+    if (ctx.parallel->enabled()) {
+      plan = &*ctx.parallel;
+      if (!quiet)
+        std::cerr << "blk-opt: parallel plan: " << plan->summary() << "\n";
+    } else if (!quiet) {
+      std::cerr << "blk-opt: parallel plan is empty (no certified loops); "
+                   "checks run serially\n";
+    }
+  }
+
   if (!keep_c_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(keep_c_dir, ec);
-    const blk::ir::EmitOptions eo{.scalar_io = true, .entry_wrapper = true};
     for (const auto& [name, p] :
          {std::pair<const char*, const blk::ir::Program*>{"original.c",
                                                           &original},
@@ -403,7 +487,12 @@ int main(int argc, char** argv) {
         std::cerr << "blk-opt: cannot write " << path.string() << "\n";
         return 2;
       }
-      out << blk::ir::emit_c(*p, "blk_kernel", eo);
+      // The transformed program shows the threaded form when a plan
+      // exists (the original predates the plan's loop coordinates).
+      out << blk::ir::emit_c(*p, "blk_kernel",
+                             {.scalar_io = true,
+                              .entry_wrapper = true,
+                              .parallel = p == &prog ? plan : nullptr});
       if (!quiet) std::cerr << "blk-opt: wrote " << path.string() << "\n";
     }
   }
@@ -473,6 +562,24 @@ int main(int argc, char** argv) {
         std::cerr << "blk-opt: --check " << label.str()
                   << "vm-vs-native failed to run: " << e.what() << "\n";
         status = 1;
+      }
+      // With a parallel plan, also validate the threaded kernel against
+      // serial native: bit-identical for non-reduction plans, pinned
+      // deterministic combine (tight epsilon) for reductions.
+      if (plan) {
+        try {
+          if (!cross_check_parallel(prog, full, label.str(), *plan))
+            status = 1;
+          else if (!quiet)
+            std::cerr << "blk-opt: --check " << label.str()
+                      << "serial-vs-parallel ok (" << plan->summary()
+                      << ")\n";
+        } catch (const std::exception& e) {
+          std::cerr << "blk-opt: --check " << label.str()
+                    << "serial-vs-parallel failed to run: " << e.what()
+                    << "\n";
+          status = 1;
+        }
       }
     }
   }

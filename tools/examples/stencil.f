@@ -1,0 +1,7 @@
+PARAMETER N
+REAL*8 A(0:N,0:N)
+DO I = 1, N
+  DO J = 1, N
+    10: A(I,J) = 0.25*(A(I-1,J) + A(I,J-1))
+  ENDDO
+ENDDO
