@@ -1,0 +1,447 @@
+#include "interp/tiered.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "interp/vm.hpp"
+#include "ir/error.hpp"
+#include "ir/printer.hpp"
+#include "native/engine.hpp"
+#include "spec/assumptions.hpp"
+#include "spec/specialize.hpp"
+
+namespace blk::interp {
+
+namespace {
+
+constexpr std::size_t kMaxRecordedDeopts = 256;
+
+std::string hex16_of(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::string binding_text(const ir::Env& env) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : env) {
+    if (!first) os << ',';
+    first = false;
+    os << k << '=' << v;
+  }
+  return os.str();
+}
+
+long env_long(const char* name, long fallback) {
+  const char* s = std::getenv(name);
+  if (!s || !*s) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  return end == s ? fallback : v;
+}
+
+struct DeoptEvent {
+  std::string kernel;   ///< kernel hash (16 hex of the printed program)
+  std::string binding;  ///< canonical "KS=5,N=24" text
+  long guard = 0;       ///< 1-based failing-guard index
+  std::string desc;     ///< GuardOptions::describe(guard)
+  std::string action;   ///< fallback taken: "generic" or "vm"
+  std::uint64_t invocation = 0;  ///< the pair's invocation count at deopt
+};
+
+/// Profiling state of one (kernel-hash, binding-shape) pair.
+struct PairState {
+  std::mutex mu;
+  std::uint64_t invocations = 0;
+  std::uint64_t trips = 0;  ///< VM statements executed while cold
+  bool spec_requested = false;  ///< this pair's specialization job launched
+};
+
+/// One guarded specialized variant of a kernel.  Variants are shared by
+/// every binding of the kernel: a binding that violates a variant's
+/// guards simply fails its entry check and falls through — that is the
+/// deopt path.  `consecutive_fails` is global to the variant on purpose:
+/// a variant that keeps bouncing incoming bindings has gone stale (the
+/// hot shape changed) and is retired, exactly like deopt-storm code
+/// invalidation in a method JIT.
+struct Variant {
+  std::shared_ptr<native::Kernel> kernel;
+  ir::GuardOptions guards;
+  std::string hash;  ///< assumption-set hash (dedupe key)
+  bool demoted = false;
+  int consecutive_fails = 0;
+};
+
+/// Native artifacts of one kernel, shared across bindings: the generic
+/// kernel (parameters symbolic) plus every specialized variant built so
+/// far.  A freshly-hot binding of an already-promoted kernel runs
+/// natively at once and only pays one more compile for its own variant.
+struct KernelArtifacts {
+  std::mutex mu;
+  enum class Phase : int { Cold, Compiling, Ready, Failed } phase =
+      Phase::Cold;
+  std::shared_ptr<native::Kernel> generic;
+  std::vector<Variant> variants;
+  std::vector<std::thread> workers;
+
+  ~KernelArtifacts() {
+    for (auto& w : workers)
+      if (w.joinable()) w.join();
+  }
+};
+
+struct Profile {
+  std::mutex mu;
+  std::map<std::string, std::shared_ptr<PairState>> pairs;
+  std::map<std::string, std::shared_ptr<KernelArtifacts>> kernels;
+  TieredStats stats;
+  std::vector<DeoptEvent> events;
+};
+
+Profile& profile() {
+  static Profile p;
+  return p;
+}
+
+void bump(std::uint64_t TieredStats::* field) {
+  Profile& p = profile();
+  std::lock_guard<std::mutex> lock(p.mu);
+  ++(p.stats.*field);
+}
+
+void record_deopt(DeoptEvent ev) {
+  Profile& p = profile();
+  std::lock_guard<std::mutex> lock(p.mu);
+  ++p.stats.deopts;
+  if (p.events.size() < kMaxRecordedDeopts) p.events.push_back(std::move(ev));
+}
+
+}  // namespace
+
+TieredOptions TieredOptions::resolved(const TieredOptions& base) {
+  TieredOptions o = base;
+  if (o.promote_after < 0)
+    o.promote_after =
+        static_cast<int>(env_long("BLK_TIERED_PROMOTE_AFTER", 3));
+  if (o.promote_after < 1) o.promote_after = 1;
+  if (o.demote_after < 0)
+    o.demote_after = static_cast<int>(env_long("BLK_TIERED_DEMOTE_AFTER", 3));
+  if (o.demote_after < 1) o.demote_after = 1;
+  if (const char* s = std::getenv("BLK_TIERED_SYNC"); s && *s && *s != '0')
+    o.synchronous = true;
+  return o;
+}
+
+struct TieredRunner::Impl {
+  const ir::Program& program;
+  TieredOptions opts;
+  Vm vm;
+  std::string kernel_id;
+  std::string binding;
+  std::shared_ptr<PairState> state;
+  std::shared_ptr<KernelArtifacts> art;
+  std::uint64_t last_vm_stmts = 0;
+
+  // Marshaling scratch, sized on first native call.
+  std::vector<long> param_vals;
+  std::vector<double*> array_ptrs;
+  std::vector<double> scalar_vals;
+
+  Impl(const ir::Program& p, ir::Env params, const TieredOptions& o)
+      : program(p),
+        opts(TieredOptions::resolved(o)),
+        vm(p, std::move(params)),
+        kernel_id(hex16_of(ir::print(p))),
+        binding(binding_text(vm.params())) {
+    Profile& pr = profile();
+    std::lock_guard<std::mutex> lock(pr.mu);
+    auto& pslot = pr.pairs[kernel_id + '|' + binding];
+    if (!pslot) pslot = std::make_shared<PairState>();
+    state = pslot;
+    auto& kslot = pr.kernels[kernel_id];
+    if (!kslot) kslot = std::make_shared<KernelArtifacts>();
+    art = kslot;
+  }
+
+  struct BuildResult {
+    std::shared_ptr<native::Kernel> gen;  ///< null: spec-only job
+    Variant variant;                      ///< .kernel null: none built
+    bool ok = false;
+  };
+
+  /// Build one binding's specialized variant; .kernel stays null when the
+  /// binding yields no checkable assumptions or the build fails (not
+  /// fatal — the kernel settles on generic).
+  static Variant build_variant(const ir::Program& prog, const ir::Env& env) {
+    Variant v;
+    try {
+      const spec::AssumptionSet as =
+          spec::AssumptionSet::from_binding(prog, env);
+      const spec::SpecializeResult sr = spec::specialize(prog, as);
+      if (sr.guards.enabled()) {
+        // Specialized variants are hot-tier code: compile them -O3 (the
+        // generic kernel keeps the ordinary -O2 build).
+        v.kernel = std::make_shared<native::Kernel>(
+            sr.prog, "blk_kernel", nullptr, nullptr, &sr.guards, as.hash(),
+            /*opt_level=*/3);
+        v.guards = sr.guards;
+        v.hash = as.hash();
+      }
+    } catch (const std::exception&) {
+      v.kernel.reset();
+    }
+    return v;
+  }
+
+  static BuildResult build_kernels(const ir::Program& prog,
+                                   const ir::Env& env, bool with_generic) {
+    BuildResult r;
+    r.ok = true;
+    if (with_generic) {
+      try {
+        r.gen = std::make_shared<native::Kernel>(prog);
+      } catch (const std::exception&) {
+        r.ok = false;
+        return r;
+      }
+    }
+    r.variant = build_variant(prog, env);
+    return r;
+  }
+
+  /// Caller holds a.mu.
+  static void apply_build(KernelArtifacts& a, BuildResult r) {
+    if (r.gen) {
+      a.generic = std::move(r.gen);
+      a.phase = KernelArtifacts::Phase::Ready;
+    } else if (!r.ok) {
+      a.phase = KernelArtifacts::Phase::Failed;
+    }
+    if (!r.variant.kernel) return;
+    for (const Variant& v : a.variants)
+      if (v.hash == r.variant.hash) return;  // already built by another pair
+    a.variants.push_back(std::move(r.variant));
+  }
+
+  /// Launch one compile job for this pair's binding.  `with_generic`
+  /// also builds the kernel's shared generic variant (the first
+  /// promotion of the kernel).  Caller holds a.mu.
+  void launch_build(KernelArtifacts& a, bool with_generic) {
+    if (with_generic) a.phase = KernelArtifacts::Phase::Compiling;
+    {
+      Profile& p = profile();
+      std::lock_guard<std::mutex> lock(p.mu);
+      ++p.stats.promotions;
+      ++p.stats.background_compiles;
+    }
+    // The worker owns a clone: the caller's program (and this runner) may
+    // die while the compile is in flight.
+    auto prog = std::make_shared<ir::Program>(program.clone());
+    if (opts.synchronous || !native::available()) {
+      // Without a toolchain the build fails fast; run it inline so the
+      // kernel settles immediately instead of spawning a doomed thread.
+      apply_build(a, build_kernels(*prog, vm.params(), with_generic));
+    } else {
+      a.workers.emplace_back(
+          [ka = art, prog, env = vm.params(), with_generic] {
+            BuildResult r = build_kernels(*prog, env, with_generic);
+            std::lock_guard<std::mutex> lock(ka->mu);
+            apply_build(*ka, std::move(r));
+          });
+    }
+  }
+
+  void marshal(const native::Kernel& k) {
+    Store& st = vm.store();
+    param_vals.clear();
+    for (const auto& name : k.param_names()) {
+      auto it = vm.params().find(name);
+      if (it == vm.params().end())
+        throw Error("tiered: unbound parameter " + name);
+      param_vals.push_back(it->second);
+    }
+    array_ptrs.clear();
+    for (const auto& name : k.array_names())
+      array_ptrs.push_back(st.arrays.at(name).flat().data());
+    scalar_vals.clear();
+    for (const auto& name : k.scalar_names()) {
+      auto it = st.scalars.find(name);
+      scalar_vals.push_back(it == st.scalars.end() ? 0.0 : it->second);
+    }
+  }
+
+  void sync_scalars_back(const native::Kernel& k) {
+    Store& st = vm.store();
+    for (std::size_t i = 0; i < k.scalar_names().size(); ++i)
+      st.scalars[k.scalar_names()[i]] = scalar_vals[i];
+  }
+
+  void run_native(native::Kernel& k) {
+    marshal(k);
+    k.call(param_vals.data(), array_ptrs.data(), scalar_vals.data());
+    sync_scalars_back(k);
+  }
+
+  void run_vm() {
+    vm.run();
+    last_vm_stmts = vm.statements_executed();
+    bump(&TieredStats::vm_runs);
+  }
+
+  void run() {
+    bump(&TieredStats::invocations);
+    PairState& s = *state;
+    KernelArtifacts& a = *art;
+    std::scoped_lock lock(s.mu, a.mu);
+    ++s.invocations;
+    last_vm_stmts = 0;
+
+    const bool hot =
+        s.invocations >= static_cast<std::uint64_t>(opts.promote_after);
+    if (hot) {
+      if (a.phase == KernelArtifacts::Phase::Cold) {
+        // First promotion of the kernel: generic + this binding's variant.
+        s.spec_requested = true;
+        launch_build(a, /*with_generic=*/true);
+      } else if (a.phase == KernelArtifacts::Phase::Ready &&
+                 !s.spec_requested) {
+        // The kernel is already hot under another binding; this binding
+        // crossed the threshold itself, so buy its own variant too.
+        s.spec_requested = true;
+        launch_build(a, /*with_generic=*/false);
+      }
+    }
+
+    if (a.phase == KernelArtifacts::Phase::Ready) {
+      // Try every live specialized variant; the first whose entry guards
+      // accept this binding runs.  A binding rejected by all of them is
+      // a deopt: record the event and fall back to the generic kernel.
+      long first_fail = 0;
+      std::string first_desc;
+      for (Variant& v : a.variants) {
+        if (v.demoted) continue;
+        marshal(*v.kernel);
+        const long failed =
+            v.kernel->check_guards(param_vals.data(), array_ptrs.data());
+        if (failed == 0) {
+          v.consecutive_fails = 0;
+          v.kernel->call(param_vals.data(), array_ptrs.data(),
+                         scalar_vals.data());
+          sync_scalars_back(*v.kernel);
+          bump(&TieredStats::specialized_runs);
+          return;
+        }
+        if (first_fail == 0) {
+          first_fail = failed;
+          first_desc = v.guards.describe(static_cast<std::size_t>(failed));
+        }
+        if (++v.consecutive_fails >= opts.demote_after) {
+          v.demoted = true;
+          v.kernel->demote();
+          bump(&TieredStats::demotions);
+        }
+      }
+      if (first_fail != 0)
+        record_deopt({kernel_id, binding, first_fail, first_desc,
+                      a.generic ? "generic" : "vm", s.invocations});
+      if (a.generic) {
+        run_native(*a.generic);
+        bump(&TieredStats::generic_runs);
+        return;
+      }
+    }
+
+    // Cold, still compiling, or natively unreachable: the profiling VM.
+    run_vm();
+    s.trips += last_vm_stmts;
+  }
+};
+
+TieredRunner::TieredRunner(const ir::Program& program, ir::Env params,
+                           const TieredOptions& opts)
+    : impl_(std::make_unique<Impl>(program, std::move(params), opts)) {}
+TieredRunner::~TieredRunner() = default;
+TieredRunner::TieredRunner(TieredRunner&&) noexcept = default;
+TieredRunner& TieredRunner::operator=(TieredRunner&&) noexcept = default;
+
+Store& TieredRunner::store() { return impl_->vm.store(); }
+const Store& TieredRunner::store() const { return impl_->vm.store(); }
+const ir::Env& TieredRunner::params() const { return impl_->vm.params(); }
+void TieredRunner::run() { impl_->run(); }
+std::uint64_t TieredRunner::statements_executed() const {
+  return impl_->last_vm_stmts;
+}
+
+TieredStats tiered_stats() {
+  Profile& p = profile();
+  std::lock_guard<std::mutex> lock(p.mu);
+  return p.stats;
+}
+
+void tiered_drain() {
+  Profile& p = profile();
+  std::vector<std::shared_ptr<KernelArtifacts>> kernels;
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    for (auto& [key, ka] : p.kernels) kernels.push_back(ka);
+  }
+  for (auto& ka : kernels) {
+    std::vector<std::thread> workers;
+    {
+      std::lock_guard<std::mutex> lock(ka->mu);
+      workers = std::move(ka->workers);
+      ka->workers.clear();
+    }
+    for (auto& w : workers)
+      if (w.joinable()) w.join();
+  }
+}
+
+void reset_tiered_stats() {
+  tiered_drain();
+  Profile& p = profile();
+  std::lock_guard<std::mutex> lock(p.mu);
+  p.pairs.clear();
+  p.kernels.clear();
+  p.stats = TieredStats{};
+  p.events.clear();
+}
+
+std::string tiered_stats_json() {
+  Profile& p = profile();
+  std::lock_guard<std::mutex> lock(p.mu);
+  const TieredStats& t = p.stats;
+  std::ostringstream os;
+  os << "{\"invocations\": " << t.invocations
+     << ", \"vm_runs\": " << t.vm_runs
+     << ", \"generic_runs\": " << t.generic_runs
+     << ", \"specialized_runs\": " << t.specialized_runs
+     << ", \"promotions\": " << t.promotions
+     << ", \"background_compiles\": " << t.background_compiles
+     << ", \"deopts\": " << t.deopts << ", \"demotions\": " << t.demotions
+     << ", \"deopt_events\": [";
+  for (std::size_t i = 0; i < p.events.size(); ++i) {
+    const DeoptEvent& e = p.events[i];
+    os << (i ? ", " : "") << "{\"kernel\": \"" << e.kernel
+       << "\", \"binding\": \"" << e.binding << "\", \"guard\": " << e.guard
+       << ", \"desc\": \"" << e.desc << "\", \"action\": \"" << e.action
+       << "\", \"invocation\": " << e.invocation << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace blk::interp

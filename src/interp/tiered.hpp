@@ -1,0 +1,111 @@
+// Tiered adaptive execution: profiling VM -> guarded specialized native.
+//
+// Engine::Tiered runs cold invocations on the bytecode VM while cheap
+// per-(kernel-hash, binding-shape) counters accumulate in a process-wide
+// profile.  The first pair of a kernel to cross the promotion threshold
+// launches one background compile job building two native artifacts,
+// shared by every binding of that kernel: the generic kernel (parameters
+// symbolic — the ordinary Engine::Native build) and a specialized variant
+// built under the promoting binding's derived AssumptionSet (parameters
+// pinned, remainder loops deleted, entry guards emitted, compiled at the
+// hot tier's -O3 -funroll-loops where the generic tier uses -O2).
+// Later bindings
+// of a promoted kernel run natively at once; each one that gets hot
+// itself buys its own specialized variant.  Every hot invocation tries
+// the live variants' entry guards first:
+//
+//   some variant's guards pass -> that specialized native kernel
+//   all variants' guards fail  -> deopt event; generic native kernel (VM
+//                                 when native is unavailable) — results
+//                                 stay bit-identical to the VM on every
+//                                 path
+//
+// Repeated consecutive guard failures demote a variant (the hot binding
+// shape evidently changed for good — deopt-storm code invalidation) and
+// the kernel settles on the generic build.  Promotion, deopt and
+// demotion are all observable through tiered_stats()/tiered_stats_json();
+// the native registry's guard-fail/demotion counters tick through the
+// same events.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "interp/interp.hpp"
+
+namespace blk::interp {
+
+/// Tiering policy knobs (the CLI's --promote-after lands here).
+struct TieredOptions {
+  /// Invocations of one (kernel, binding) pair before promotion; 0/neg
+  /// means "promote on first invocation".  Default from
+  /// $BLK_TIERED_PROMOTE_AFTER, else 3.
+  int promote_after = -1;  ///< -1 = resolve from the environment
+  /// Consecutive guard failures before the specialized variant is
+  /// demoted.  Default from $BLK_TIERED_DEMOTE_AFTER, else 3.
+  int demote_after = -1;
+  /// Compile promoted pairs synchronously instead of on a background
+  /// thread (deterministic tests; $BLK_TIERED_SYNC=1 forces it).
+  bool synchronous = false;
+
+  /// Environment-resolved copy (defaults filled in).
+  [[nodiscard]] static TieredOptions resolved(const TieredOptions& base);
+};
+
+/// Process-wide tiered-runtime counters since start (or reset).
+struct TieredStats {
+  std::uint64_t invocations = 0;       ///< Tiered runs, all pairs
+  std::uint64_t vm_runs = 0;           ///< executed by the profiling VM
+  std::uint64_t generic_runs = 0;      ///< executed by the generic kernel
+  std::uint64_t specialized_runs = 0;  ///< executed by the specialized kernel
+  std::uint64_t promotions = 0;        ///< pairs that crossed the threshold
+  std::uint64_t background_compiles = 0;  ///< compile jobs launched
+  std::uint64_t deopts = 0;            ///< guard-fail fallbacks taken
+  std::uint64_t demotions = 0;         ///< variants retired by guard churn
+};
+
+[[nodiscard]] TieredStats tiered_stats();
+void reset_tiered_stats();  ///< also clears the profile and kernel cache refs
+
+/// Counters plus the recorded deopt events:
+///   {"invocations": 7, ..., "deopt_events": [{"kernel": "<hash16>",
+///    "binding": "KS=5,N=24", "guard": 1, "desc": "KS == 5",
+///    "action": "generic", "invocation": 6}, ...]}
+[[nodiscard]] std::string tiered_stats_json();
+
+/// Block until every background compile launched so far has finished.
+/// Tests and benchmarks call this between the warm-up loop and the
+/// steady-state measurement; it is never required for correctness (a
+/// still-compiling pair simply keeps running on the VM).
+void tiered_drain();
+
+/// One program instance under tiered execution (the Engine::Tiered arm of
+/// the ExecEngine facade).  The profile is process-wide: a fresh
+/// TieredRunner for an already-hot (kernel, binding) pair starts on the
+/// promoted kernels immediately.
+class TieredRunner {
+ public:
+  TieredRunner(const ir::Program& program, ir::Env params,
+               const TieredOptions& opts = {});
+  ~TieredRunner();
+  TieredRunner(TieredRunner&&) noexcept;
+  TieredRunner& operator=(TieredRunner&&) noexcept;
+
+  [[nodiscard]] Store& store();
+  [[nodiscard]] const Store& store() const;
+  [[nodiscard]] const ir::Env& params() const;
+
+  /// One invocation through the current tier (VM / generic / specialized).
+  void run();
+
+  /// The profiling VM's count from the most recent VM-tier run (0 once
+  /// the pair runs native).
+  [[nodiscard]] std::uint64_t statements_executed() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace blk::interp

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "interp/tiered.hpp"
 #include "ir/error.hpp"
 #include "native/engine.hpp"
 
@@ -316,8 +317,9 @@ Engine parse_engine(std::string_view name) {
   if (name == "tree" || name == "treewalker") return Engine::TreeWalker;
   if (name == "vm") return Engine::Vm;
   if (name == "native") return Engine::Native;
+  if (name == "tiered") return Engine::Tiered;
   throw Error("unknown engine '" + std::string(name) +
-              "' (expected tree, vm or native)");
+              "' (expected tree, vm, native or tiered)");
 }
 
 const char* to_string(Engine e) {
@@ -325,6 +327,7 @@ const char* to_string(Engine e) {
     case Engine::TreeWalker: return "tree";
     case Engine::Vm: return "vm";
     case Engine::Native: return "native";
+    case Engine::Tiered: return "tiered";
   }
   return "?";
 }
@@ -378,7 +381,8 @@ class NativeRunner {
 };
 
 ExecEngine::ExecEngine(const ir::Program& program, ir::Env params,
-                       Engine engine, const ir::ParallelOptions* parallel) {
+                       Engine engine, const ir::ParallelOptions* parallel,
+                       const TieredOptions* tiered) {
   engine_ = engine;
   if (engine_ == Engine::Native && !native::available())
     engine_ = Engine::Vm;  // fallback policy: no toolchain -> VM
@@ -393,6 +397,13 @@ ExecEngine::ExecEngine(const ir::Program& program, ir::Env params,
       nat_ = std::make_unique<NativeRunner>(program, std::move(params),
                                             parallel);
       break;
+    case Engine::Tiered:
+      // No toolchain fallback here: the runner profiles on the VM and
+      // simply never leaves it when no native backend exists.
+      tiered_ = std::make_unique<TieredRunner>(
+          program, std::move(params),
+          tiered ? *tiered : TieredOptions{});
+      break;
   }
 }
 
@@ -403,16 +414,19 @@ ExecEngine& ExecEngine::operator=(ExecEngine&&) noexcept = default;
 Store& ExecEngine::store() {
   if (tw_) return tw_->store();
   if (vm_) return vm_->store();
+  if (tiered_) return tiered_->store();
   return nat_->store();
 }
 const Store& ExecEngine::store() const {
   if (tw_) return tw_->store();
   if (vm_) return vm_->store();
+  if (tiered_) return tiered_->store();
   return nat_->store();
 }
 const ir::Env& ExecEngine::params() const {
   if (tw_) return tw_->params();
   if (vm_) return vm_->params();
+  if (tiered_) return tiered_->params();
   return nat_->params();
 }
 
@@ -421,6 +435,8 @@ void ExecEngine::run() {
     tw_->run();
   else if (vm_)
     vm_->run();
+  else if (tiered_)
+    tiered_->run();
   else
     nat_->run();
 }
@@ -430,9 +446,10 @@ void ExecEngine::run(TraceBuffer& tb) {
     tw_->run([&tb](std::uint64_t addr, bool w) { tb.append(addr, w); });
     return;
   }
-  if (nat_)
+  if (nat_ || tiered_)
     throw Error(
-        "native engine does not produce access traces; use Engine::Vm");
+        "native/tiered engines do not produce access traces; use "
+        "Engine::Vm");
   vm_->run(&tb);
 }
 
@@ -441,9 +458,10 @@ void ExecEngine::run(const TraceFn& fn) {
     tw_->run(fn);
     return;
   }
-  if (nat_)
+  if (nat_ || tiered_)
     throw Error(
-        "native engine does not produce access traces; use Engine::Vm");
+        "native/tiered engines do not produce access traces; use "
+        "Engine::Vm");
   // Adapt the VM's batched tracing to the legacy per-access callback.
   TraceBuffer buf(1 << 16, [&fn](std::span<const TraceRecord> recs) {
     for (const TraceRecord& r : recs) fn(r.addr, r.is_write);
@@ -455,6 +473,7 @@ void ExecEngine::run(const TraceFn& fn) {
 std::uint64_t ExecEngine::statements_executed() const {
   if (tw_) return tw_->statements_executed();
   if (vm_) return vm_->statements_executed();
+  if (tiered_) return tiered_->statements_executed();
   return 0;  // the native engine does not count statements
 }
 

@@ -51,35 +51,82 @@ void record_run(const std::string& key, double seconds) {
   }
 }
 
+void record_guard_fail(const std::string& key) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.totals.guard_fails;
+  for (auto it = r.kernels.rbegin(); it != r.kernels.rend(); ++it) {
+    if (it->key == key) {
+      ++it->guard_fails;
+      break;
+    }
+  }
+}
+
+void record_demotion(const std::string& key) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.totals.demotions;
+  for (auto it = r.kernels.rbegin(); it != r.kernels.rend(); ++it) {
+    if (it->key == key) {
+      it->demoted = true;
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 Kernel::Kernel(const ir::Program& p, const std::string& fn_name,
-               KernelCache* cache, const ir::ParallelOptions* parallel) {
+               KernelCache* cache, const ir::ParallelOptions* parallel,
+               const ir::GuardOptions* guards, const std::string& variant,
+               int opt_level) {
   const Toolchain* tc = toolchain();
   if (!tc)
     throw Error(
         "native: no host C toolchain (install cc or set BLK_NATIVE_CC); "
         "use the VM engine instead");
+  // Hot-tier builds swap -O2 for -O3 -funroll-loops (measured on the LU
+  // kernels: -O3 alone helps point LU but regresses blocked LU under
+  // gcc's vectorizer; adding -funroll-loops wins on both).  The flag set
+  // is part of Toolchain::id(), so the levels never alias in the cache.
+  Toolchain hot_tc;
+  if (opt_level != 2) {
+    hot_tc = *tc;
+    for (auto& f : hot_tc.flags)
+      if (f == "-O2") f = "-O" + std::to_string(opt_level);
+    hot_tc.flags.push_back("-funroll-loops");
+    tc = &hot_tc;
+  }
 
   param_names_ = p.params();
   for (const auto& [name, decl] : p.arrays()) array_names_.push_back(name);
   for (const auto& sc : p.scalars()) scalar_names_.push_back(sc);
 
+  const bool want_guards = guards && guards->enabled();
   source_ = ir::emit_c(p, fn_name,
                        {.scalar_io = true,
                         .entry_wrapper = true,
-                        .parallel = parallel});
+                        .parallel = parallel,
+                        .guards = want_guards ? guards : nullptr});
   KernelCache& kc = cache ? *cache : default_cache();
-  CompileOutcome out = kc.get_or_compile(source_, *tc);
+  CompileOutcome out = kc.get_or_compile(source_, *tc, variant);
   so_path_ = out.so_path;
   module_ = std::make_unique<Module>(out.so_path);
   entry_ = reinterpret_cast<EntryFn>(module_->sym(fn_name + "_entry"));
   if (!entry_)
     throw Error("native: compiled object " + out.so_path +
                 " does not export " + fn_name + "_entry");
+  if (want_guards) {
+    guard_ = reinterpret_cast<GuardFn>(module_->sym(fn_name + "_guard"));
+    if (!guard_)
+      throw Error("native: compiled object " + out.so_path +
+                  " does not export " + fn_name + "_guard");
+  }
 
   timings_.key = out.key;
   timings_.fn = fn_name;
+  timings_.variant = variant;
   timings_.cache_hit = out.cache_hit;
   timings_.compile_seconds = out.compile_seconds;
   timings_.load_seconds = module_->load_seconds();
@@ -96,6 +143,22 @@ void Kernel::call(const long* params, double* const* arrays,
   ++timings_.runs;
   timings_.run_seconds += s;
   record_run(timings_.key, s);
+}
+
+long Kernel::check_guards(const long* params, double* const* arrays) {
+  if (!guard_) return 0;
+  const long failed = guard_(params, arrays);
+  if (failed != 0) {
+    ++timings_.guard_fails;
+    record_guard_fail(timings_.key);
+  }
+  return failed;
+}
+
+void Kernel::demote() {
+  if (timings_.demoted) return;
+  timings_.demoted = true;
+  record_demotion(timings_.key);
 }
 
 void warm(const std::vector<const ir::Program*>& programs, int workers,
@@ -157,17 +220,22 @@ std::string stats_json() {
   os << "{\"kernels_built\": " << t.kernels
      << ", \"compiles\": " << t.compiles
      << ", \"cache_hits\": " << t.cache_hits << ", \"runs\": " << t.runs
+     << ", \"guard_fails\": " << t.guard_fails
+     << ", \"demotions\": " << t.demotions
      << ", \"compile_seconds\": " << t.compile_seconds
      << ", \"load_seconds\": " << t.load_seconds
      << ", \"run_seconds\": " << t.run_seconds << ", \"kernels\": [";
   for (std::size_t i = 0; i < ks.size(); ++i) {
     const KernelTimings& k = ks[i];
     os << (i ? ", " : "") << "{\"key\": \"" << k.key << "\", \"fn\": \""
-       << k.fn << "\", \"cache_hit\": " << (k.cache_hit ? "true" : "false")
+       << k.fn << "\", \"variant\": \"" << k.variant
+       << "\", \"cache_hit\": " << (k.cache_hit ? "true" : "false")
        << ", \"compile_seconds\": " << k.compile_seconds
        << ", \"load_seconds\": " << k.load_seconds
        << ", \"runs\": " << k.runs
-       << ", \"run_seconds\": " << k.run_seconds << "}";
+       << ", \"run_seconds\": " << k.run_seconds
+       << ", \"guard_fails\": " << k.guard_fails
+       << ", \"demoted\": " << (k.demoted ? "true" : "false") << "}";
   }
   os << "]}";
   return os.str();

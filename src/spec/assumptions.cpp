@@ -1,0 +1,212 @@
+#include "spec/assumptions.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "ir/affine.hpp"
+
+namespace blk::spec {
+
+namespace {
+
+std::string term_text(const ir::GuardOptions::Term& t) {
+  std::ostringstream os;
+  if (t.param.empty()) {
+    os << t.add;
+  } else {
+    os << t.param;
+    if (t.add > 0) os << '+' << t.add;
+    if (t.add < 0) os << t.add;
+  }
+  return os.str();
+}
+
+std::string divides_text(const ir::GuardOptions::Divides& d) {
+  return term_text(d.dividend) + '%' + term_text(d.divisor);
+}
+
+long term_eval(const ir::GuardOptions::Term& t, const ir::Env& env) {
+  return (t.param.empty() ? 0 : env.at(t.param)) + t.add;
+}
+
+/// Affine with at most one unit-coefficient variable -> guard Term.
+bool term_of_affine(const ir::Affine& a, ir::GuardOptions::Term& out) {
+  if (a.coef.empty()) {
+    out = {"", a.constant};
+    return true;
+  }
+  if (a.coef.size() == 1 && a.coef.begin()->second == 1) {
+    out = {a.coef.begin()->first, a.constant};
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t fnv1a(const std::string& s, std::uint64_t h) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+void AssumptionSet::pin(const std::string& param, long value) {
+  pins_[param] = value;
+}
+
+void AssumptionSet::divides(ir::GuardOptions::Term dividend,
+                            ir::GuardOptions::Term divisor) {
+  ir::GuardOptions::Divides d{std::move(dividend), std::move(divisor)};
+  const std::string text = divides_text(d);
+  for (const auto& have : divides_)
+    if (divides_text(have) == text) return;
+  divides_.push_back(std::move(d));
+}
+
+void AssumptionSet::range(const std::string& param, long lo, long hi) {
+  ranges_[param] = {lo, hi};
+}
+
+void AssumptionSet::no_alias(const std::string& a, const std::string& b) {
+  auto pair = a <= b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (std::find(noalias_.begin(), noalias_.end(), pair) == noalias_.end())
+    noalias_.push_back(std::move(pair));
+}
+
+bool AssumptionSet::empty() const {
+  return pins_.empty() && divides_.empty() && ranges_.empty() &&
+         noalias_.empty();
+}
+
+std::string AssumptionSet::canonical() const {
+  std::ostringstream os;
+  os << "pin{";
+  bool first = true;
+  for (const auto& [p, v] : pins_) {
+    if (!first) os << ',';
+    first = false;
+    os << p << '=' << v;
+  }
+  os << "};div{";
+  std::vector<std::string> dv;
+  dv.reserve(divides_.size());
+  for (const auto& d : divides_) dv.push_back(divides_text(d));
+  std::sort(dv.begin(), dv.end());
+  for (std::size_t i = 0; i < dv.size(); ++i) os << (i ? "," : "") << dv[i];
+  os << "};rng{";
+  first = true;
+  for (const auto& [p, lohi] : ranges_) {
+    if (!first) os << ',';
+    first = false;
+    os << lohi.first << "<=" << p << "<=" << lohi.second;
+  }
+  os << "};na{";
+  std::vector<std::string> na;
+  na.reserve(noalias_.size());
+  for (const auto& [a, b] : noalias_) na.push_back(a + '!' + b);
+  std::sort(na.begin(), na.end());
+  for (std::size_t i = 0; i < na.size(); ++i) os << (i ? "," : "") << na[i];
+  os << '}';
+  return os.str();
+}
+
+std::string AssumptionSet::hash() const {
+  const std::string text = canonical();
+  return hex64(fnv1a(text, 14695981039346656037ULL)) +
+         hex64(fnv1a(text, 88172645463325252ULL));
+}
+
+ir::GuardOptions AssumptionSet::to_guards() const {
+  ir::GuardOptions g;
+  for (const auto& [p, v] : pins_) g.param_eq.push_back({p, v});
+  // Canonical order, so equal sets emit byte-identical guard code.
+  std::vector<ir::GuardOptions::Divides> dv = divides_;
+  std::sort(dv.begin(), dv.end(),
+            [](const ir::GuardOptions::Divides& a,
+               const ir::GuardOptions::Divides& b) {
+              return divides_text(a) < divides_text(b);
+            });
+  g.divides = std::move(dv);
+  for (const auto& [p, lohi] : ranges_)
+    g.ranges.push_back({p, lohi.first, lohi.second});
+  std::vector<std::pair<std::string, std::string>> na = noalias_;
+  std::sort(na.begin(), na.end());
+  for (const auto& [a, b] : na) g.noalias.push_back({a, b});
+  return g;
+}
+
+analysis::Assumptions AssumptionSet::to_assumptions() const {
+  analysis::Assumptions ctx;
+  for (const auto& [p, v] : pins_) {
+    ctx.assert_ge(ir::ivar(p), ir::iconst(v));
+    ctx.assert_le(ir::ivar(p), ir::iconst(v));
+  }
+  for (const auto& [p, lohi] : ranges_) {
+    ctx.assert_ge(ir::ivar(p), ir::iconst(lohi.first));
+    ctx.assert_le(ir::ivar(p), ir::iconst(lohi.second));
+  }
+  return ctx;
+}
+
+AssumptionSet AssumptionSet::from_binding(const ir::Program& p,
+                                          const ir::Env& env) {
+  AssumptionSet as;
+  for (const auto& prm : p.params()) {
+    auto it = env.find(prm);
+    if (it != env.end()) as.pin(prm, it->second);
+  }
+
+  // Interpreter stores allocate one distinct buffer per declared array, so
+  // a binding built from a Store always satisfies pairwise no-alias — and
+  // a caller who rebinds two names to one buffer violates exactly this.
+  std::vector<std::string> names;
+  names.reserve(p.arrays().size());
+  for (const auto& [name, decl] : p.arrays()) names.push_back(name);
+  for (std::size_t i = 0; i < names.size(); ++i)
+    for (std::size_t j = i + 1; j < names.size(); ++j)
+      as.no_alias(names[i], names[j]);
+
+  // Divisibility: for every loop whose bounds and step are affine in the
+  // pinned parameters alone (outer strip loops — inner loops mention loop
+  // variables and are skipped), record "step divides trip extent" when
+  // the binding satisfies it.  This is the fact that lets the specializer
+  // erase the loop's remainder, so it must be guarded.
+  ir::for_each_stmt(
+      p.body, [&](const ir::Stmt& s) {
+        if (s.kind() != ir::SKind::Loop) return;
+        const ir::Loop& l = s.as_loop();
+        auto lb = ir::as_affine(l.lb);
+        auto ub = ir::as_affine(l.ub);
+        auto st = ir::as_affine(l.step);
+        if (!lb || !ub || !st) return;
+        const ir::Affine ext = *ub - *lb + ir::Affine::constant_term(1);
+        ir::GuardOptions::Term ext_t, step_t;
+        if (!term_of_affine(ext, ext_t) || !term_of_affine(*st, step_t))
+          return;
+        auto bound = [&](const ir::GuardOptions::Term& t) {
+          return t.param.empty() || as.pins().contains(t.param);
+        };
+        if (!bound(ext_t) || !bound(step_t)) return;
+        const long step_v = term_eval(step_t, env);
+        const long ext_v = term_eval(ext_t, env);
+        if (step_v <= 1 || ext_v <= 0) return;
+        if (ext_v % step_v != 0) return;
+        if (step_t.param.empty() && ext_t.param.empty())
+          return;  // constant fact, nothing to guard
+        as.divides(ext_t, step_t);
+      });
+  return as;
+}
+
+}  // namespace blk::spec

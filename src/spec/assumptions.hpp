@@ -1,0 +1,74 @@
+// First-class assumption sets.
+//
+// A specialized kernel is legal only relative to explicit facts about its
+// binding — the Fractal Symbolic Analysis stance: an optimization proved
+// under assumptions must carry those assumptions as checked objects, not
+// comments.  `AssumptionSet` is that object: a value type holding the
+// facts a specializer is allowed to exploit (parameter constants,
+// divisibility such as (N-1) % KS == 0 so remainder loops vanish,
+// parameter ranges, no-alias array pairs), with a canonical serialization
+// whose hash keys the kernel cache and whose guard rendering the emitted
+// kernel checks at entry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/assume.hpp"
+#include "ir/codegen.hpp"
+#include "ir/program.hpp"
+
+namespace blk::spec {
+
+class AssumptionSet {
+ public:
+  /// Pin a parameter to a constant (last write wins).
+  void pin(const std::string& param, long value);
+  /// Record (dividend) % (divisor) == 0, divisor != 0.
+  void divides(ir::GuardOptions::Term dividend,
+               ir::GuardOptions::Term divisor);
+  /// Record lo <= param <= hi (an extent bound).
+  void range(const std::string& param, long lo, long hi);
+  /// Record that two arrays' base pointers are distinct.
+  void no_alias(const std::string& a, const std::string& b);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] const std::map<std::string, long>& pins() const {
+    return pins_;
+  }
+
+  /// Stable one-line serialization: fact kinds in fixed order, each kind's
+  /// entries sorted.  Equal sets serialize identically regardless of
+  /// insertion order.
+  [[nodiscard]] std::string canonical() const;
+  /// 128-bit FNV-1a of canonical(), as 32 hex chars — the assumption-set
+  /// component of the kernel-cache key.
+  [[nodiscard]] std::string hash() const;
+
+  /// Render as entry guards for ir::emit_c (EmitOptions::guards).
+  [[nodiscard]] ir::GuardOptions to_guards() const;
+  /// The affine facts (pins and ranges) as an analysis context; the
+  /// divisibility and aliasing facts are not affine and do not appear.
+  [[nodiscard]] analysis::Assumptions to_assumptions() const;
+
+  /// Derive the full assumption set of one concrete binding of `p`:
+  /// every bound parameter is pinned; every pair of distinct arrays is
+  /// no-alias (interpreter stores always allocate distinct buffers); and
+  /// for every loop over parameters whose stepped range divides evenly
+  /// under `env`, the divisibility fact that makes its remainder vanish
+  /// is recorded.  Parameters `p` does not declare are ignored.
+  [[nodiscard]] static AssumptionSet from_binding(const ir::Program& p,
+                                                  const ir::Env& env);
+
+  [[nodiscard]] bool operator==(const AssumptionSet& o) const = default;
+
+ private:
+  std::map<std::string, long> pins_;
+  std::vector<ir::GuardOptions::Divides> divides_;
+  std::map<std::string, std::pair<long, long>> ranges_;
+  std::vector<std::pair<std::string, std::string>> noalias_;
+};
+
+}  // namespace blk::spec

@@ -1,0 +1,126 @@
+#include "spec/specialize.hpp"
+
+#include "analysis/assume.hpp"
+#include "ir/affine.hpp"
+
+namespace blk::spec {
+
+namespace {
+
+bool is_const(const ir::IExprPtr& e) {
+  return e->kind == ir::IKind::Const;
+}
+
+/// Resolve MIN/MAX bounds top-down.  Constant headers contribute the loop
+/// variable's *exact stepped* range: the last iterate of DO K = 1, 499, 50
+/// is 451, and K <= 451 is what proves MIN(K+49, 499) = K+49 — the header
+/// fact K <= 499 alone is too weak.  Symbolic headers fall back to the
+/// ordinary (step-aware) header range.
+void resolve_bounds(ir::StmtList& body, const analysis::Assumptions& ctx) {
+  for (auto& s : body) {
+    switch (s->kind()) {
+      case ir::SKind::Assign:
+        break;
+      case ir::SKind::If: {
+        ir::If& f = s->as_if();
+        resolve_bounds(f.then_body, ctx);
+        resolve_bounds(f.else_body, ctx);
+        break;
+      }
+      case ir::SKind::Loop: {
+        ir::Loop& l = s->as_loop();
+        l.lb = ir::simplify(ctx.resolve_minmax(l.lb));
+        l.ub = ir::simplify(ctx.resolve_minmax(l.ub));
+        l.step = ir::simplify(ctx.resolve_minmax(l.step));
+        analysis::Assumptions inner = ctx;
+        if (is_const(l.lb) && is_const(l.ub) && is_const(l.step) &&
+            l.step->value != 0) {
+          const long lb = l.lb->value, ub = l.ub->value, st = l.step->value;
+          if (st > 0 && ub >= lb) {
+            const long last = lb + ((ub - lb) / st) * st;
+            inner.assert_ge(ir::ivar(l.var), ir::iconst(lb));
+            inner.assert_le(ir::ivar(l.var), ir::iconst(last));
+          } else if (st < 0 && lb >= ub) {
+            const long last = lb - ((lb - ub) / (-st)) * (-st);
+            inner.assert_le(ir::ivar(l.var), ir::iconst(lb));
+            inner.assert_ge(ir::ivar(l.var), ir::iconst(last));
+          }
+        } else {
+          inner.add_loop_range(l.var, l.lb, l.ub, l.step);
+        }
+        resolve_bounds(l.body, inner);
+        break;
+      }
+    }
+  }
+}
+
+/// Delete loops that provably run zero iterations (constant header, empty
+/// range) or whose bodies became empty after inner deletions.  Zero-step
+/// loops are left alone: the interpreter rejects them, and deleting one
+/// would hide that.
+int delete_dead_loops(ir::StmtList& body) {
+  int deleted = 0;
+  for (auto it = body.begin(); it != body.end();) {
+    ir::Stmt& s = **it;
+    bool drop = false;
+    if (s.kind() == ir::SKind::Loop) {
+      ir::Loop& l = s.as_loop();
+      deleted += delete_dead_loops(l.body);
+      if (is_const(l.lb) && is_const(l.ub) && is_const(l.step) &&
+          l.step->value != 0) {
+        const long st = l.step->value;
+        drop = st > 0 ? l.ub->value < l.lb->value
+                      : l.ub->value > l.lb->value;
+      }
+      drop = drop || l.body.empty();
+    } else if (s.kind() == ir::SKind::If) {
+      ir::If& f = s.as_if();
+      deleted += delete_dead_loops(f.then_body);
+      deleted += delete_dead_loops(f.else_body);
+    }
+    if (drop) {
+      it = body.erase(it);
+      ++deleted;
+    } else {
+      ++it;
+    }
+  }
+  return deleted;
+}
+
+}  // namespace
+
+SpecializeResult specialize(const ir::Program& p, const AssumptionSet& as) {
+  SpecializeResult r;
+  r.prog = p.clone();
+  r.guards = as.to_guards();
+
+  for (const auto& [prm, v] : as.pins()) {
+    if (!r.prog.has_param(prm)) continue;
+    const ir::IExprPtr c = ir::iconst(v);
+    ir::substitute_index_in_list(r.prog.body, prm, c);
+    for (const auto& [name, decl] : p.arrays()) {
+      ir::ArrayDecl& d = r.prog.mutable_array_decl(name);
+      for (ir::Dim& dim : d.dims) {
+        dim.lb = ir::simplify(ir::substitute(dim.lb, prm, c));
+        dim.ub = ir::simplify(ir::substitute(dim.ub, prm, c));
+      }
+    }
+    ++r.folded_params;
+  }
+
+  // Resolution can expose new zero-trip loops (a remainder loop's bounds
+  // only become constant once its MIN collapses), so iterate to a
+  // fixpoint; two rounds settle every kernel in the suite.
+  const analysis::Assumptions ctx = as.to_assumptions();
+  for (int round = 0; round < 4; ++round) {
+    resolve_bounds(r.prog.body, ctx);
+    const int n = delete_dead_loops(r.prog.body);
+    r.deleted_loops += n;
+    if (n == 0) break;
+  }
+  return r;
+}
+
+}  // namespace blk::spec

@@ -1,0 +1,38 @@
+// The specializer: clone a program under an assumption set.
+//
+// Pinned parameters are constant-folded through every bound, subscript,
+// condition and array extent; MIN/MAX loop bounds are then resolved under
+// the exact stepped ranges the constants expose (the last iterate of
+// DO K = 1, N-1, KS is a computable constant once N and KS are pinned, so
+// MIN(K+KS-1, N-1) collapses even though the loop header's K <= N-1 fact
+// alone is too weak); finally, loops whose trip count is provably zero
+// are deleted — the blocked kernels' remainder loops vanish exactly when
+// the divisibility assumption holds.  The result is only legal for
+// bindings satisfying the assumptions, which is why it ships with entry
+// guards (AssumptionSet::to_guards) and why callers must fall back on
+// guard failure.  Specialization is validated differentially (the
+// tests/spec suite runs specialized and generic kernels bit-exact against
+// the VM), not translation-validated: constant folding legitimately
+// changes the dependence structure.
+#pragma once
+
+#include "ir/codegen.hpp"
+#include "ir/program.hpp"
+#include "spec/assumptions.hpp"
+
+namespace blk::spec {
+
+struct SpecializeResult {
+  ir::Program prog;        ///< the specialized clone
+  ir::GuardOptions guards; ///< entry guards for the variant
+  int folded_params = 0;   ///< parameters substituted by constants
+  int deleted_loops = 0;   ///< provably zero-trip loops removed
+};
+
+/// Clone `p` and specialize it under `as`.  The parameter list is left
+/// intact (folded parameters become unused), so generic and specialized
+/// variants share the entry ABI and one marshaling path serves both.
+[[nodiscard]] SpecializeResult specialize(const ir::Program& p,
+                                          const AssumptionSet& as);
+
+}  // namespace blk::spec

@@ -37,9 +37,22 @@
 //                        compare results (repeatable); with --engine=native
 //                        each check also cross-validates the native engine
 //                        against the bytecode VM on both programs
+//   --bind BINDINGS      resolve parameters ahead of the pipeline (e.g.
+//                        N=500,KS=50); the specialize stage pins these
+//                        and they back --check bindings (repeatable;
+//                        selectblock's own choice wins on a name clash)
 //   --engine NAME        execution engine for --check: tree, vm (default),
-//                        or native (JIT through the C backend; falls back
-//                        to the VM when no host toolchain exists)
+//                        native (JIT through the C backend; falls back
+//                        to the VM when no host toolchain exists), or
+//                        tiered (profiling VM that promotes hot bindings
+//                        to guarded specialized native); each tiered
+//                        check replays the binding past the promotion
+//                        threshold and bit-checks every run — cold VM,
+//                        promotion, specialized — against the VM oracle
+//   --promote-after K    tiered promotion threshold: compile a binding's
+//                        native variants after its K-th invocation
+//                        (default $BLK_TIERED_PROMOTE_AFTER else 3;
+//                        requires --engine=tiered)
 //   --parallel           build the certified parallel plan (appends
 //                        "parallelize(check)" to the pipeline when absent)
 //                        and run native checks through it; each --check
@@ -56,7 +69,10 @@
 //   --golden FILE        diff the printed result against FILE; exit 1 on
 //                        mismatch
 //   --bench_json PATH    write per-pass stats (wall time, IR statement
-//                        delta, analysis cache hits/misses) as JSON
+//                        delta, analysis cache hits/misses) as JSON;
+//                        with --engine=tiered the payload gains a
+//                        "tiered" section (promotions, deopt events,
+//                        demotions)
 //   --no-verify          skip translation validation of each pass
 //   --print-registry     list every registered pass and exit
 //   --quiet              suppress the pass-stat table on stderr
@@ -77,6 +93,7 @@
 #include <vector>
 
 #include "interp/interp.hpp"
+#include "interp/tiered.hpp"
 #include "interp/vm.hpp"
 #include "ir/codegen.hpp"
 #include "ir/error.hpp"
@@ -98,18 +115,21 @@ std::string read_all(std::istream& in) {
   return os.str();
 }
 
-/// Parse "N=24,BS=5" into an Env.
-blk::ir::Env parse_bindings(const std::string& text) {
+/// Parse "N=24,BS=5" into an Env.  `flag` names the option in errors.
+blk::ir::Env parse_bindings(const std::string& text,
+                            const char* flag = "--check") {
   blk::ir::Env env;
   std::istringstream is(text);
   std::string item;
   while (std::getline(is, item, ',')) {
     auto eq = item.find('=');
     if (eq == std::string::npos)
-      throw blk::Error("--check: expected NAME=INT in '" + item + "'");
+      throw blk::Error(std::string(flag) + ": expected NAME=INT in '" +
+                       item + "'");
     env[item.substr(0, eq)] = std::stol(item.substr(eq + 1));
   }
-  if (env.empty()) throw blk::Error("--check: empty binding list");
+  if (env.empty())
+    throw blk::Error(std::string(flag) + ": empty binding list");
   return env;
 }
 
@@ -236,6 +256,43 @@ bool cross_check_native(const blk::ir::Program& p, const blk::ir::Env& env,
   return false;
 }
 
+/// Replay `p` under `env` on the tiered engine past the promotion
+/// threshold — synchronously, so the run after the threshold executes the
+/// guarded specialized variant when one built — and bit-check every run
+/// (cold VM, promotion, specialized steady state) against the VM oracle.
+/// Prints a reproducer and returns false on the first divergence.
+bool cross_check_tiered(const blk::ir::Program& p, const blk::ir::Env& env,
+                        const std::string& bindings_label, const char* what,
+                        long promote_after) {
+  blk::interp::TieredOptions topts;
+  if (promote_after > 0) topts.promote_after = static_cast<int>(promote_after);
+  topts.synchronous = true;
+  const int threshold =
+      blk::interp::TieredOptions::resolved(topts).promote_after;
+  const int runs = threshold + 2;  // cold runs, the promoting run, steady state
+  for (int r = 1; r <= runs; ++r) {
+    blk::interp::ExecEngine vm(p, env, blk::interp::Engine::Vm);
+    blk::interp::ExecEngine td(p, env, blk::interp::Engine::Tiered, nullptr,
+                               &topts);
+    seed_inputs(vm, 0x5eed);
+    seed_inputs(td, 0x5eed);
+    vm.run();
+    td.run();
+    DiffSite site = find_max_diff(vm.store(), td.store());
+    if (site.diff == 0.0) continue;
+    std::cerr << "blk-opt: --check " << bindings_label
+              << "ENGINE DIVERGENCE (vm vs tiered, run " << r << " of "
+              << runs << ") on the " << what << " program\n"
+              << "  worst element: " << site.var << " = " << site.va
+              << " (vm) vs " << site.vb << " (tiered), |diff| = "
+              << site.diff << "\n  reproduce: blk-opt --engine=tiered "
+              << "--promote-after " << threshold << " --check "
+              << bindings_label << "... <same pipeline and input>\n";
+    return false;
+  }
+  return true;
+}
+
 void print_registry() {
   const auto& reg = blk::pm::Registry::instance();
   for (const auto& [name, info] : reg.passes()) {
@@ -287,6 +344,7 @@ int main(int argc, char** argv) {
   std::string golden_path;
   std::string json_path;
   std::vector<blk::ir::Env> checks;
+  blk::ir::Env binds;
   blk::interp::Engine engine = blk::interp::Engine::Vm;
   std::string keep_c_dir;
   blk::analysis::Assumptions hints;
@@ -300,10 +358,25 @@ int main(int argc, char** argv) {
   std::string model_json_path;
   bool parallel = false;
   long threads = 0;
+  long promote_after = 0;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    // Accept --flag=VALUE as well as --flag VALUE.
+    std::string inline_value;
+    bool has_inline_value = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      if (auto eq = arg.find('='); eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        arg.erase(eq);
+        has_inline_value = true;
+      }
+    }
     auto need_value = [&](const char* flag) -> std::string {
+      if (has_inline_value) {
+        has_inline_value = false;
+        return inline_value;
+      }
       if (i + 1 >= argc) {
         std::cerr << "blk-opt: " << flag << " needs an argument\n";
         std::exit(2);
@@ -317,6 +390,9 @@ int main(int argc, char** argv) {
         blk::pm::add_fact(hints, need_value("--assume"));
       } else if (arg == "--check") {
         checks.push_back(parse_bindings(need_value("--check")));
+      } else if (arg == "--bind") {
+        blk::ir::Env env = parse_bindings(need_value("--bind"), "--bind");
+        binds.insert(env.begin(), env.end());
       } else if (arg == "--engine") {
         engine = blk::interp::parse_engine(need_value("--engine"));
       } else if (arg == "--parallel") {
@@ -328,6 +404,12 @@ int main(int argc, char** argv) {
           return 2;
         }
         parallel = true;
+      } else if (arg == "--promote-after") {
+        promote_after = std::stol(need_value("--promote-after"));
+        if (promote_after < 1) {
+          std::cerr << "blk-opt: --promote-after wants a positive count\n";
+          return 2;
+        }
       } else if (arg == "--keep-c") {
         keep_c_dir = need_value("--keep-c");
       } else if (arg == "--golden") {
@@ -359,10 +441,12 @@ int main(int argc, char** argv) {
         return 0;
       } else if (arg == "--help" || arg == "-h") {
         std::cout << "usage: blk-opt -p SPEC [--assume FACT]... "
-                     "[--check N=24,BS=5]... [--golden FILE]\n"
-                     "               [--engine tree|vm|native] [--keep-c DIR] "
-                     "[--bench_json PATH]\n"
-                     "               [--no-verify] [--quiet] [file.f]\n"
+                     "[--check N=24,BS=5]... [--bind N=24,BS=5]...\n"
+                     "               [--golden FILE]\n"
+                     "               [--engine tree|vm|native|tiered] "
+                     "[--promote-after K]\n"
+                     "               [--keep-c DIR] [--bench_json PATH] "
+                     "[--no-verify] [--quiet] [file.f]\n"
                      "       blk-opt --auto-b [--cache SIZE/LINE/ASSOC]... "
                      "[--latency L1,..,MEM]\n"
                      "               [--probe N] [--tolerance PCT] "
@@ -381,10 +465,19 @@ int main(int argc, char** argv) {
       } else {
         file = std::move(arg);
       }
+      if (has_inline_value) {
+        std::cerr << "blk-opt: option '" << arg << "' does not take a "
+                     "value\n";
+        return 2;
+      }
     } catch (const std::exception& e) {
       std::cerr << "blk-opt: " << e.what() << "\n";
       return 2;
     }
+  }
+  if (promote_after > 0 && engine != blk::interp::Engine::Tiered) {
+    std::cerr << "blk-opt: --promote-after needs --engine=tiered\n";
+    return 3;
   }
   if (parallel && engine != blk::interp::Engine::Native) {
     // The tree-walker and VM have no threads to give; silently running
@@ -436,6 +529,10 @@ int main(int argc, char** argv) {
   blk::pm::PipelineContext ctx(prog, hints);
   ctx.machine = machine;
   ctx.latencies = latencies;
+  // --bind values are resolved bindings the pipeline may exploit (the
+  // specialize stage pins them); passes that choose values themselves
+  // (selectblock) overwrite a binding of the same name.
+  ctx.resolved = binds;
   blk::pm::RunReport report;
   try {
     if (verify) {
@@ -488,11 +585,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       // The transformed program shows the threaded form when a plan
-      // exists (the original predates the plan's loop coordinates).
-      out << blk::ir::emit_c(*p, "blk_kernel",
-                             {.scalar_io = true,
-                              .entry_wrapper = true,
-                              .parallel = p == &prog ? plan : nullptr});
+      // exists (the original predates the plan's loop coordinates), and
+      // carries the entry-guard prologue when a specialize stage ran.
+      out << blk::ir::emit_c(
+          *p, "blk_kernel",
+          {.scalar_io = true,
+           .entry_wrapper = true,
+           .parallel = p == &prog ? plan : nullptr,
+           .guards = p == &prog && ctx.guards ? &*ctx.guards : nullptr});
       if (!quiet) std::cerr << "blk-opt: wrote " << path.string() << "\n";
     }
   }
@@ -529,9 +629,30 @@ int main(int argc, char** argv) {
     full.insert(ctx.resolved.begin(), ctx.resolved.end());
     std::ostringstream label;
     for (const auto& [k, v] : env) label << k << "=" << v << " ";
+    // A specialized program is only valid for bindings satisfying its
+    // assumptions (its array extents are folded); comparing it against
+    // the original under a contradicting binding is meaningless.  The
+    // tiered cross-check below still exercises this binding — at run
+    // time the violating binding guard-fails into the generic kernel.
+    bool pins_violated = false;
+    if (ctx.guards) {
+      for (const auto& pe : ctx.guards->param_eq) {
+        auto it = full.find(pe.param);
+        if (it != full.end() && it->second != pe.value) {
+          pins_violated = true;
+          if (!quiet)
+            std::cerr << "blk-opt: --check " << label.str()
+                      << "skipped original-vs-transformed (" << pe.param
+                      << "=" << it->second
+                      << " violates the specialization pin " << pe.param
+                      << "=" << pe.value << ")\n";
+          break;
+        }
+      }
+    }
     double diff = 0.0;
     try {
-      diff = run_and_diff(original, prog, full, engine);
+      if (!pins_violated) diff = run_and_diff(original, prog, full, engine);
     } catch (const std::exception& e) {
       std::cerr << "blk-opt: --check failed to run: " << e.what() << "\n";
       status = 1;
@@ -542,7 +663,7 @@ int main(int argc, char** argv) {
                 << blk::interp::to_string(engine)
                 << " engine (max |diff| = " << diff << ")\n";
       status = 1;
-    } else if (!quiet) {
+    } else if (!quiet && !pins_violated) {
       std::cerr << "blk-opt: --check " << label.str() << "ok ("
                 << blk::interp::to_string(engine) << ")\n";
     }
@@ -582,6 +703,26 @@ int main(int argc, char** argv) {
         }
       }
     }
+    // On the tiered engine, replay the binding past the promotion
+    // threshold on both programs: the check must stay bit-exact through
+    // cold VM runs, the promoting run, and the specialized steady state.
+    if (engine == blk::interp::Engine::Tiered) {
+      try {
+        if (!cross_check_tiered(original, full, label.str(), "original",
+                                promote_after))
+          status = 1;
+        else if (!cross_check_tiered(prog, full, label.str(), "transformed",
+                                     promote_after))
+          status = 1;
+        else if (!quiet)
+          std::cerr << "blk-opt: --check " << label.str()
+                    << "vm-vs-tiered ok (through promotion)\n";
+      } catch (const std::exception& e) {
+        std::cerr << "blk-opt: --check " << label.str()
+                  << "vm-vs-tiered failed to run: " << e.what() << "\n";
+        status = 1;
+      }
+    }
   }
 
   // Written after the checks so the native section reflects every kernel
@@ -595,8 +736,13 @@ int main(int argc, char** argv) {
     std::string native_json;
     if (blk::native::stats().kernels > 0)
       native_json = blk::native::stats_json();
+    std::string tiered_json;
+    if (blk::interp::tiered_stats().invocations > 0) {
+      blk::interp::tiered_drain();
+      tiered_json = blk::interp::tiered_stats_json();
+    }
     out << blk::pm::report_json(report, file, pipeline.to_string(),
-                                native_json);
+                                native_json, tiered_json);
   }
 
   if (!golden_path.empty()) {
