@@ -101,9 +101,9 @@ CacheStats simulate(const ir::Program& p, const ir::Env& params,
   interp::seed_store(eng.store(), seed);
   Cache cache(cfg);
   interp::TraceBuffer buf(
-      kTraceBatch,
-      [&cache](std::span<const interp::TraceRecord> recs) {
-        cache.simulate(recs);
+      kTraceBatch, &cache,
+      [](void* ctx, std::span<const interp::TraceRecord> recs) {
+        static_cast<Cache*>(ctx)->simulate(recs);
       });
   eng.run(buf);
   buf.flush();
@@ -138,19 +138,26 @@ void Hierarchy::reset() {
   back_invalidations_ = 0;
 }
 
-double Hierarchy::amat(std::span<const double> latencies) const {
-  if (latencies.size() != levels_.size() + 1)
-    throw Error("Hierarchy::amat: need one latency per level plus memory");
+double amat(std::span<const CacheStats> levels,
+            std::span<const double> latencies) {
+  if (levels.empty()) throw Error("amat: need at least one level");
+  if (latencies.size() != levels.size() + 1)
+    throw Error("amat: need one latency per level plus memory");
   // Every access costs L1's latency; each level's misses additionally pay
   // the next level's latency.
-  const double total =
-      static_cast<double>(levels_.front().stats().accesses);
+  const double total = static_cast<double>(levels.front().accesses);
   if (total == 0) return 0.0;
   double cycles = total * latencies[0];
-  for (std::size_t i = 0; i < levels_.size(); ++i)
-    cycles +=
-        static_cast<double>(levels_[i].stats().misses) * latencies[i + 1];
+  for (std::size_t i = 0; i < levels.size(); ++i)
+    cycles += static_cast<double>(levels[i].misses) * latencies[i + 1];
   return cycles / total;
+}
+
+double Hierarchy::amat(std::span<const double> latencies) const {
+  std::vector<CacheStats> per_level;
+  per_level.reserve(levels_.size());
+  for (const Cache& l : levels_) per_level.push_back(l.stats());
+  return cachesim::amat(per_level, latencies);
 }
 
 std::vector<CacheStats> simulate_hierarchy(const ir::Program& p,
@@ -161,8 +168,10 @@ std::vector<CacheStats> simulate_hierarchy(const ir::Program& p,
   interp::seed_store(eng.store(), seed);
   Hierarchy h(std::move(levels));
   interp::TraceBuffer buf(
-      kTraceBatch,
-      [&h](std::span<const interp::TraceRecord> recs) { h.simulate(recs); });
+      kTraceBatch, &h,
+      [](void* ctx, std::span<const interp::TraceRecord> recs) {
+        static_cast<Hierarchy*>(ctx)->simulate(recs);
+      });
   eng.run(buf);
   buf.flush();
   std::vector<CacheStats> out;

@@ -40,7 +40,33 @@ struct CacheStats {
                          : static_cast<double>(misses) /
                                static_cast<double>(accesses);
   }
+
+  /// Accumulate another simulation's counters.  Pure unsigned sums, so the
+  /// combine is commutative and associative: merging per-shard stats yields
+  /// bit-identical totals at any worker count or merge order (the sharded
+  /// trace replay relies on this).
+  CacheStats& operator+=(const CacheStats& o) {
+    accesses += o.accesses;
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    return *this;
+  }
+
+  [[nodiscard]] friend CacheStats operator+(CacheStats a, const CacheStats& b) {
+    a += b;
+    return a;
+  }
+
+  [[nodiscard]] bool operator==(const CacheStats&) const = default;
 };
+
+/// Average memory-access time from per-level stats: every access pays
+/// `latencies[0]`, and each level's misses additionally pay the next
+/// level's latency (`latencies` has one entry per level plus memory).
+/// Free function so merged shard stats can be scored without a Hierarchy.
+[[nodiscard]] double amat(std::span<const CacheStats> levels,
+                          std::span<const double> latencies);
 
 /// One-level set-associative cache with true-LRU replacement.
 class Cache {

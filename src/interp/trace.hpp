@@ -9,11 +9,20 @@
 // accumulate they are delivered in one span and the buffer is reused, so
 // arbitrarily long traces (N=300 LU is ~10^8 accesses) run in constant
 // memory.
+//
+// The sink is a plain function pointer plus context, not a std::function:
+// every flush on the product path (cachesim streaming, the trace
+// encoder's record hook) dispatches through one indirect call with no
+// allocation or type erasure.  A std::function convenience constructor
+// remains for tests and ad-hoc callers; it boxes the callable once and
+// trampolines through the same pointer, so the hot append loop is
+// identical either way (bench_trace pins the flush-dispatch difference).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -30,14 +39,29 @@ struct TraceRecord {
 /// Growable, reusable trace store with optional batched delivery.
 class TraceBuffer {
  public:
+  /// Devirtualized sink: one indirect call per flush, no type erasure.
+  using SinkFn = void (*)(void* ctx, std::span<const TraceRecord>);
+  /// Legacy erased sink, kept for tests and ad-hoc consumers.
   using Sink = std::function<void(std::span<const TraceRecord>)>;
 
   TraceBuffer() { recs_.reserve(4096); }
 
   /// Streaming mode: whenever `flush_threshold` records accumulate they
-  /// are handed to `sink` and dropped, bounding memory.
+  /// are handed to `sink(ctx, ...)` and dropped, bounding memory.
+  TraceBuffer(std::size_t flush_threshold, void* ctx, SinkFn sink)
+      : flush_threshold_(flush_threshold), sink_ctx_(ctx), sink_fn_(sink) {
+    recs_.reserve(flush_threshold_ ? flush_threshold_ : 4096);
+  }
+
+  /// Legacy streaming mode: boxes the callable once; flushes trampoline
+  /// through the same function-pointer path as the devirtualized sink.
   TraceBuffer(std::size_t flush_threshold, Sink sink)
-      : flush_threshold_(flush_threshold), sink_(std::move(sink)) {
+      : flush_threshold_(flush_threshold),
+        boxed_(std::make_unique<Sink>(std::move(sink))) {
+    sink_ctx_ = boxed_.get();
+    sink_fn_ = [](void* ctx, std::span<const TraceRecord> recs) {
+      (*static_cast<Sink*>(ctx))(recs);
+    };
     recs_.reserve(flush_threshold_ ? flush_threshold_ : 4096);
   }
 
@@ -49,8 +73,8 @@ class TraceBuffer {
   /// Deliver buffered records to the sink (if any) and clear them.
   /// Without a sink this is a no-op, so retained-mode users keep records.
   void flush() {
-    if (!sink_) return;
-    if (!recs_.empty()) sink_(recs_);
+    if (!sink_fn_) return;
+    if (!recs_.empty()) sink_fn_(sink_ctx_, recs_);
     recs_.clear();
   }
 
@@ -73,7 +97,9 @@ class TraceBuffer {
  private:
   std::vector<TraceRecord> recs_;
   std::size_t flush_threshold_ = 0;
-  Sink sink_;
+  void* sink_ctx_ = nullptr;
+  SinkFn sink_fn_ = nullptr;
+  std::unique_ptr<Sink> boxed_;  ///< keeps a legacy callable alive
 };
 
 }  // namespace blk::interp

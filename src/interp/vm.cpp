@@ -463,9 +463,11 @@ void ExecEngine::run(const TraceFn& fn) {
         "native/tiered engines do not produce access traces; use "
         "Engine::Vm");
   // Adapt the VM's batched tracing to the legacy per-access callback.
-  TraceBuffer buf(1 << 16, [&fn](std::span<const TraceRecord> recs) {
-    for (const TraceRecord& r : recs) fn(r.addr, r.is_write);
-  });
+  TraceBuffer buf(1 << 16, const_cast<TraceFn*>(&fn),
+                  [](void* ctx, std::span<const TraceRecord> recs) {
+                    const TraceFn& f = *static_cast<TraceFn*>(ctx);
+                    for (const TraceRecord& r : recs) f(r.addr, r.is_write);
+                  });
   vm_->run(&buf);
   buf.flush();
 }

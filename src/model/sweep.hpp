@@ -1,10 +1,28 @@
-// Empirical refiner for the blocking-factor choice: run the *blocked*
-// program once per candidate KS on the bytecode VM (the program is
-// compiled exactly once — KS lives in a runtime scalar slot, so changing
-// the candidate is a store write, not a recompilation) and replay each
-// trace through per-worker cachesim instances on a thread pool.  The
-// candidate with the lowest L1 miss ratio (or AMAT, when per-level
-// latencies are supplied) wins.
+// Empirical refiner for the blocking-factor choice.
+//
+// Two execution strategies:
+//
+//  - TraceFormat::Compressed (default): the production trace pipeline.
+//    Each candidate's trace is obtained once — synthesized analytically
+//    when the program's access pattern is affine (one RUNA op per inner
+//    loop instance, megabytes where raw records are gigabytes), or
+//    recorded through the VM into the compressed encoder otherwise — and
+//    kept in a process-wide TraceStore keyed by (program, params, ks,
+//    seed, sampling).  Replays run sharded across the worker pool with a
+//    deterministic merge, so re-tuning against a different cache geometry
+//    never re-executes the program.  Structural sampling (every k-th
+//    block instance) is validated against a full replay of one probe
+//    candidate and falls back to full tracing when the sampled L1 miss
+//    ratio disagrees beyond `sample_tolerance`.
+//
+//  - TraceFormat::Raw: the original in-memory path — run the blocked
+//    program once per candidate on the bytecode VM (compiled exactly
+//    once; KS lives in a runtime scalar slot) and feed raw TraceRecord
+//    batches to per-worker cachesim instances.
+//
+// Either way the candidate with the lowest L1 miss ratio (or AMAT, when
+// per-level latencies are supplied) wins, and results are bit-identical
+// at any worker count.
 #pragma once
 
 #include <cstdint>
@@ -13,8 +31,14 @@
 
 #include "cachesim/cache.hpp"
 #include "ir/program.hpp"
+#include "trace/store.hpp"
 
 namespace blk::model {
+
+enum class TraceFormat {
+  Raw,         ///< uncompressed in-memory records, VM re-run per candidate
+  Compressed,  ///< record-once/replay-many compressed traces (default)
+};
 
 struct SweepOptions {
   std::vector<long> candidates;   ///< ks values to measure, ascending
@@ -24,27 +48,55 @@ struct SweepOptions {
   std::vector<double> latencies;  ///< num_levels+1 entries switch to AMAT
   unsigned workers = 0;           ///< 0: hardware concurrency (capped)
   std::uint64_t seed = 42;
-  std::size_t max_in_flight = 3;  ///< traces buffered ahead of the workers
+  std::size_t max_in_flight = 3;  ///< Raw path: traces buffered ahead
+
+  TraceFormat trace_format = TraceFormat::Compressed;
+  /// Keep every `sample_every`-th instance of the depth-`sample_depth`
+  /// loops (1 = full trace).  Only honoured when the program is trace-
+  /// synthesizable; validated against a full replay before use.
+  long sample_every = 1;
+  int sample_depth = 1;
+  /// Max |sampled - full| L1 miss-ratio disagreement on the validation
+  /// candidate before sampling is abandoned for this sweep.
+  double sample_tolerance = 0.02;
+  /// Validation replays one candidate's *full* trace; when that trace
+  /// would exceed this many records (estimated as sampled records * k)
+  /// the probe is skipped with a note — the tolerance is then carried
+  /// over from smaller-probe runs instead of being re-measured at a size
+  /// where a full replay is infeasible.
+  std::uint64_t sample_validate_max_records = 256u << 20;
+  std::uint64_t shard_records = 4u << 20;  ///< replay shard target
+  trace::TraceStore* store = nullptr;      ///< nullptr: process-wide store
 };
 
 struct CandidateResult {
   long ks = 0;
   std::vector<cachesim::CacheStats> levels;  ///< one per hierarchy level
   double metric = 0.0;
-  std::uint64_t trace_len = 0;
+  std::uint64_t trace_len = 0;   ///< records replayed (sampled if sampling)
+  bool synthesized = false;      ///< trace from the affine synthesizer
+  double compression = 0.0;      ///< raw bytes / encoded bytes (0 for Raw)
 };
 
 struct SweepResult {
   std::vector<CandidateResult> rows;  ///< in candidate order
   std::size_t best_index = 0;         ///< argmin of metric
   std::string metric_name;            ///< "miss_ratio" or "amat"
+
+  // Trace-pipeline evidence (Compressed path only).
+  bool compressed = false;         ///< trace pipeline used
+  long sample_every = 1;           ///< effective stride after validation
+  bool sample_validated = false;   ///< a sampled-vs-full probe ran
+  double sample_delta = 0.0;       ///< probe |sampled - full| L1 miss ratio
+  std::uint64_t store_hits = 0;    ///< candidates served from the store
+  std::uint64_t store_misses = 0;  ///< candidates traced this sweep
+  std::string note;                ///< e.g. why sampling was dropped
 };
 
 /// Measure every candidate against `blocked` (a program whose blocking
-/// factor is the declared runtime scalar `ks_scalar`).  One ExecEngine is
-/// compiled up front and shared across the whole sweep; simulation runs on
-/// `workers` threads with per-worker Cache/Hierarchy state.  Throws
-/// blk::Error on an empty candidate list or an undeclared ks scalar.
+/// factor is the declared runtime scalar `ks_scalar`).  Deterministic at
+/// any worker count.  Throws blk::Error on an empty candidate list, an
+/// undeclared ks scalar, or an empty cache-level list.
 [[nodiscard]] SweepResult sweep_block_sizes(const ir::Program& blocked,
                                             const SweepOptions& opt);
 

@@ -230,10 +230,23 @@ model::BlockChoice& step_selectblock(PipelineContext& ctx,
       sopt.latencies = machine.latencies;
       sopt.workers = opt.workers;
       sopt.seed = opt.seed;
+      sopt.trace_format = opt.raw_traces ? model::TraceFormat::Raw
+                                         : model::TraceFormat::Compressed;
+      sopt.sample_every = opt.sample_every;
+      sopt.sample_tolerance = opt.sample_tolerance;
       model::SweepResult sw = model::sweep_block_sizes(clone, sopt);
 
       choice.swept = true;
       choice.metric_name = sw.metric_name;
+      choice.compressed_traces = sw.compressed;
+      choice.traces_synthesized =
+          !sw.rows.empty() && sw.rows.front().synthesized;
+      choice.sample_every = sw.sample_every;
+      choice.sample_validated = sw.sample_validated;
+      choice.sample_delta = sw.sample_delta;
+      choice.store_hits = sw.store_hits;
+      choice.store_misses = sw.store_misses;
+      if (!sw.note.empty()) choice.note = sw.note;
       std::size_t chosen_row = sw.rows.size();
       for (std::size_t i = 0; i < sw.rows.size(); ++i) {
         const model::CandidateResult& r = sw.rows[i];

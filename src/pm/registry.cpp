@@ -356,7 +356,16 @@ Registry::Registry() {
                    {.name = "workers", .kind = OptKind::Int,
                     .doc = "simulator threads (default: auto)"},
                    {.name = "seed", .kind = OptKind::Int,
-                    .doc = "input seed for the sweep (default 42)"}},
+                    .doc = "input seed for the sweep (default 42)"},
+                   {.name = "rawtrace", .kind = OptKind::Flag,
+                    .doc = "legacy raw in-memory traces instead of the "
+                           "compressed record-once/replay-many pipeline"},
+                   {.name = "sample", .kind = OptKind::Int,
+                    .doc = "replay every k-th block instance (validated "
+                           "against a full replay; default 1 = full)"},
+                   {.name = "sampletol", .kind = OptKind::Int,
+                    .doc = "sampling tolerance in basis points of L1 "
+                           "miss ratio (default 200 = 0.02)"}},
        .run = [](PipelineContext& ctx, const PassInvocation& inv) {
          detail::SelectBlockOptions opt;
          opt.ks_name = inv.str_or("name", "KS");
@@ -366,6 +375,10 @@ Registry::Registry() {
          opt.grid = inv.flag("grid");
          opt.workers = static_cast<unsigned>(inv.int_or("workers", 0));
          opt.seed = static_cast<std::uint64_t>(inv.int_or("seed", 42));
+         opt.raw_traces = inv.flag("rawtrace");
+         opt.sample_every = inv.int_or("sample", 1);
+         opt.sample_tolerance =
+             static_cast<double>(inv.int_or("sampletol", 200)) / 10000.0;
          const model::BlockChoice& c = detail::step_selectblock(ctx, opt);
          ctx.stage_note =
              opt.ks_name + "=" + std::to_string(c.ks) + " (analytic " +

@@ -1,0 +1,83 @@
+#include "trace/replay.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "ir/error.hpp"
+
+namespace blk::trace {
+
+namespace {
+
+struct ShardResult {
+  std::vector<cachesim::CacheStats> levels;
+  std::uint64_t back_invalidations = 0;
+};
+
+/// Decode one shard through a fresh hierarchy.
+[[nodiscard]] ShardResult simulate_shard(
+    const EncodedTrace& t, const Shard& sh,
+    const std::vector<cachesim::CacheConfig>& levels) {
+  cachesim::Hierarchy h(levels);
+  TraceDecoder dec(t, sh.byte_begin, sh.byte_end);
+  interp::TraceRecord batch[1 << 14];
+  std::size_t n;
+  while ((n = dec.next(batch)) != 0)
+    h.simulate(std::span<const interp::TraceRecord>(batch, n));
+  ShardResult r;
+  r.levels.reserve(h.num_levels());
+  for (std::size_t i = 0; i < h.num_levels(); ++i)
+    r.levels.push_back(h.stats(i));
+  r.back_invalidations = h.back_invalidations();
+  return r;
+}
+
+}  // namespace
+
+ReplayResult replay(const EncodedTrace& t, const ReplayOptions& opt) {
+  if (opt.levels.empty()) throw Error("replay: need at least one cache level");
+  const std::vector<Shard> plan = make_shard_plan(
+      t, opt.shard_records == 0 ? 1 : opt.shard_records);
+
+  unsigned workers = opt.workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+    if (workers > 16) workers = 16;
+  }
+  if (workers > plan.size()) workers = static_cast<unsigned>(plan.size());
+
+  std::vector<ShardResult> results(plan.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < plan.size(); ++i)
+      results[i] = simulate_shard(t, plan[i], opt.levels);
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (i >= plan.size()) return;
+        results[i] = simulate_shard(t, plan[i], opt.levels);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Merge in shard order.  The sums are unsigned and therefore order-
+  // independent anyway; iterating the plan keeps it obviously so.
+  ReplayResult out;
+  out.levels.assign(opt.levels.size(), cachesim::CacheStats{});
+  out.shards = plan.size();
+  out.records = t.records;
+  for (const ShardResult& r : results) {
+    for (std::size_t l = 0; l < out.levels.size(); ++l)
+      out.levels[l] += r.levels[l];
+    out.back_invalidations += r.back_invalidations;
+  }
+  return out;
+}
+
+}  // namespace blk::trace

@@ -177,6 +177,123 @@ TEST(Sweep, SameTraceLengthDifferentLocality) {
   EXPECT_NE(r.rows[0].levels[0].misses, r.rows[1].levels[0].misses);
 }
 
+TEST(Sweep, RawAndCompressedAgreeExactly) {
+  // Both strategies see the same record stream; single-shard traces are
+  // replayed exactly, so the per-candidate stats must match field for
+  // field (not just the argmin).
+  Program prog = blocked_lu();
+  SweepOptions opt;
+  opt.candidates = {4, 8, 16};
+  opt.probe_params = {{"N", 48}};
+  opt.levels = {parse_cache_config("4K/64B/2")};
+  trace::TraceStore store;  // private store: no cross-test interference
+  opt.store = &store;
+
+  opt.trace_format = TraceFormat::Raw;
+  SweepResult raw = sweep_block_sizes(prog, opt);
+  opt.trace_format = TraceFormat::Compressed;
+  SweepResult comp = sweep_block_sizes(prog, opt);
+
+  EXPECT_FALSE(raw.compressed);
+  EXPECT_TRUE(comp.compressed);
+  ASSERT_EQ(comp.rows.size(), raw.rows.size());
+  for (std::size_t i = 0; i < raw.rows.size(); ++i) {
+    EXPECT_EQ(comp.rows[i].trace_len, raw.rows[i].trace_len);
+    EXPECT_EQ(comp.rows[i].levels[0], raw.rows[i].levels[0]);
+    EXPECT_DOUBLE_EQ(comp.rows[i].metric, raw.rows[i].metric);
+    EXPECT_TRUE(comp.rows[i].synthesized);
+    EXPECT_GT(comp.rows[i].compression, 10.0)
+        << "blocked LU should compress well past 10x";
+  }
+  EXPECT_EQ(comp.best_index, raw.best_index);
+}
+
+TEST(Sweep, RecordOnceReplayManyThroughTheStore) {
+  Program prog = blocked_lu();
+  SweepOptions opt;
+  opt.candidates = {4, 8, 16};
+  opt.probe_params = {{"N", 48}};
+  opt.levels = {parse_cache_config("4K/64B/2")};
+  trace::TraceStore store;
+  opt.store = &store;
+
+  SweepResult first = sweep_block_sizes(prog, opt);
+  EXPECT_EQ(first.store_misses, 3u);
+  EXPECT_EQ(first.store_hits, 0u);
+
+  // Re-tuning against a different geometry replays straight from the
+  // store — zero new traces — and still ranks independently.
+  opt.levels = {parse_cache_config("16K/64B/4")};
+  SweepResult second = sweep_block_sizes(prog, opt);
+  EXPECT_EQ(second.store_misses, 0u);
+  EXPECT_EQ(second.store_hits, 3u);
+  for (std::size_t i = 0; i < second.rows.size(); ++i)
+    EXPECT_EQ(second.rows[i].trace_len, first.rows[i].trace_len);
+}
+
+TEST(Sweep, SamplingValidatesAndKeepsTheChoice) {
+  Program prog = blocked_lu();
+  SweepOptions opt;
+  opt.candidates = {2, 4, 8, 16, 32};
+  opt.probe_params = {{"N", 64}};
+  opt.levels = {parse_cache_config("4K/64B/2")};
+  trace::TraceStore store;
+  opt.store = &store;
+
+  SweepResult full = sweep_block_sizes(prog, opt);
+
+  opt.sample_every = 4;
+  opt.sample_tolerance = 0.05;
+  trace::TraceStore store2;
+  opt.store = &store2;
+  SweepResult sampled = sweep_block_sizes(prog, opt);
+
+  EXPECT_TRUE(sampled.sample_validated);
+  ASSERT_EQ(sampled.sample_every, 4) << sampled.note;
+  EXPECT_LE(sampled.sample_delta, opt.sample_tolerance);
+  // Sampled traces are materially smaller and agree on the winner.
+  for (std::size_t i = 0; i < sampled.rows.size(); ++i)
+    EXPECT_LT(sampled.rows[i].trace_len, full.rows[i].trace_len / 2);
+  EXPECT_EQ(sampled.rows[sampled.best_index].ks,
+            full.rows[full.best_index].ks);
+
+  // An impossible tolerance forces the fallback to full traces.
+  opt.sample_tolerance = 0.0;
+  trace::TraceStore store3;
+  opt.store = &store3;
+  SweepResult strict = sweep_block_sizes(prog, opt);
+  if (strict.sample_delta > 0.0) {
+    EXPECT_EQ(strict.sample_every, 1);
+    EXPECT_NE(strict.note.find("sampling rejected"), std::string::npos);
+    for (std::size_t i = 0; i < strict.rows.size(); ++i)
+      EXPECT_EQ(strict.rows[i].trace_len, full.rows[i].trace_len);
+  }
+}
+
+TEST(Sweep, FallsBackToRecordingForDataDependentPrograms) {
+  // A program the synthesizer refuses (IF-guarded accesses) still sweeps:
+  // traces are recorded through the VM into the compressed format, and
+  // requested sampling is dropped with an explanatory note.
+  Program prog = kernels::matmul_guarded_ir();
+  prog.scalar("KS");  // unused by the kernel; satisfies the contract
+  SweepOptions opt;
+  opt.candidates = {4, 8};
+  opt.probe_params = {{"N", 24}};
+  opt.levels = {parse_cache_config("4K/64B/2")};
+  opt.sample_every = 4;
+  trace::TraceStore store;
+  opt.store = &store;
+
+  SweepResult r = sweep_block_sizes(prog, opt);
+  EXPECT_EQ(r.sample_every, 1);
+  EXPECT_NE(r.note.find("sampling disabled"), std::string::npos);
+  for (const CandidateResult& row : r.rows) {
+    EXPECT_FALSE(row.synthesized);
+    EXPECT_GT(row.trace_len, 0u);
+    EXPECT_GT(row.compression, 1.0);
+  }
+}
+
 TEST(Sweep, AmatWhenLatenciesMatchArity) {
   Program prog = blocked_lu();
   SweepOptions opt;

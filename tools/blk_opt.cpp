@@ -31,6 +31,13 @@
 //   --tolerance PCT      --auto-b acceptance band in percent (default 10)
 //   --model_json PATH    write the BlockChoice record (analytic prediction
 //                        plus measured sweep) as JSON
+//   --trace-format FMT   sweep trace strategy: "compressed" (default;
+//                        record-once/replay-many with sharded replay) or
+//                        "raw" (legacy in-memory records)
+//   --sample K           replay every K-th block instance in the sweep
+//                        (validated against a full replay, falls back
+//                        automatically; default 1 = full traces)
+//   --sweep-workers N    simulation threads for the sweep (default auto)
 //   --assume FACT        add a symbolic fact for the analyses (repeatable)
 //   --check BINDINGS     run the original and transformed programs with the
 //                        given parameter bindings (e.g. N=24,BS=5) and
@@ -356,6 +363,9 @@ int main(int argc, char** argv) {
   long probe = 0;
   double tolerance = 0.10;
   std::string model_json_path;
+  std::string trace_format;  // "", "raw" or "compressed"
+  long sample_every = 1;
+  long sweep_workers = 0;
   bool parallel = false;
   long threads = 0;
   long promote_after = 0;
@@ -432,6 +442,25 @@ int main(int argc, char** argv) {
         tolerance = std::stod(need_value("--tolerance")) / 100.0;
       } else if (arg == "--model_json") {
         model_json_path = need_value("--model_json");
+      } else if (arg == "--trace-format") {
+        trace_format = need_value("--trace-format");
+        if (trace_format != "raw" && trace_format != "compressed") {
+          std::cerr << "blk-opt: --trace-format wants raw or compressed\n";
+          return 2;
+        }
+      } else if (arg == "--sample") {
+        sample_every = std::stol(need_value("--sample"));
+        if (sample_every < 1) {
+          std::cerr << "blk-opt: --sample wants a stride >= 1\n";
+          return 2;
+        }
+      } else if (arg == "--sweep-workers") {
+        sweep_workers = std::stol(need_value("--sweep-workers"));
+        if (sweep_workers < 0) {
+          std::cerr << "blk-opt: --sweep-workers wants a non-negative "
+                       "count\n";
+          return 2;
+        }
       } else if (arg == "--no-verify") {
         verify = false;
       } else if (arg == "--quiet") {
@@ -450,7 +479,9 @@ int main(int argc, char** argv) {
                      "       blk-opt --auto-b [--cache SIZE/LINE/ASSOC]... "
                      "[--latency L1,..,MEM]\n"
                      "               [--probe N] [--tolerance PCT] "
-                     "[--model_json PATH] [file.f]\n"
+                     "[--model_json PATH]\n"
+                     "               [--trace-format raw|compressed] "
+                     "[--sample K] [--sweep-workers N] [file.f]\n"
                      "       blk-opt -p SPEC --engine=native --parallel "
                      "[--threads N] [--check ...]...\n"
                      "       blk-opt --print-registry\n";
@@ -495,6 +526,11 @@ int main(int argc, char** argv) {
     // The canonical §6 pipeline: model-chosen KS through the §5.1 driver.
     spec = "selectblock(grid";
     if (probe > 0) spec += ", probe=" + std::to_string(probe);
+    if (trace_format == "raw") spec += ", rawtrace";
+    if (sample_every > 1)
+      spec += ", sample=" + std::to_string(sample_every);
+    if (sweep_workers > 0)
+      spec += ", workers=" + std::to_string(sweep_workers);
     spec += "); autoblock(b=KS)";
   }
   if (parallel && spec.find("parallelize") == std::string::npos)
